@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each bench runs its experiment exactly once via ``benchmark.pedantic``
+(an FL training run is far too slow for repeated timing, and the number
+of interest is the experiment's *output*, not its runtime) and prints a
+paper-style table to stdout; run with ``-s`` or read the captured output
+in bench_output.txt.
+"""
+
+import pytest
+
+from benchmarks.common import reset_results
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_results_file():
+    """Start every bench session with a fresh benchmarks/results.txt.
+
+    pytest captures stdout, so each bench's paper-style tables are
+    *also* appended to that file via :func:`benchmarks.common.report`.
+    """
+    reset_results()
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,100 @@
+"""Extension ablations: upload compression and failure robustness.
+
+Not a paper table — these cover the extension features DESIGN.md lists
+(compression from the paper's related-work menu; the dropout/outlier
+limitation its Sec. IV-C remarks acknowledge):
+
+1. accuracy-vs-uplink tradeoff of top-k / quantized uploads combined
+   with rFedAvg+;
+2. graceful degradation under client dropout;
+3. the byzantine-outlier failure mode the paper's remarks warn about.
+"""
+
+from benchmarks.common import LAMBDA, banner, image_fed_builder, model_builder, silo_config, report
+from repro.algorithms import FedAvg, RFedAvgPlus
+from repro.fl.compression import TopKSparsifier, UniformQuantizer
+from repro.fl.faults import FaultModel
+from repro.fl.trainer import run_federated
+
+
+def _run_once(alg, fed, config):
+    history = run_federated(alg, fed, model_builder("mlp")(fed, 0), config)
+    return history.tail_mean_accuracy(3), alg.ledger.total("up:model")
+
+
+def test_ablation_compression_tradeoff(once):
+    def run():
+        fed = image_fed_builder("synth_cifar", 10, 0.0)(0)
+        config = silo_config(rounds=40, eval_every=4)
+        rows = {}
+        rows["dense"] = _run_once(RFedAvgPlus(lam=LAMBDA), fed, config)
+        rows["top-25%"] = _run_once(
+            RFedAvgPlus(lam=LAMBDA).with_compressor(TopKSparsifier(0.25)), fed, config
+        )
+        rows["top-5%"] = _run_once(
+            RFedAvgPlus(lam=LAMBDA).with_compressor(TopKSparsifier(0.05)), fed, config
+        )
+        rows["8-bit"] = _run_once(
+            RFedAvgPlus(lam=LAMBDA).with_compressor(UniformQuantizer(8)), fed, config
+        )
+        return rows
+
+    rows = once(run)
+    banner("Ablation — rFedAvg+ with compressed uploads (synth-CIFAR Sim 0%)")
+    for name, (acc, up_bytes) in rows.items():
+        report(f"{name:10s} acc={acc:.4f}  uplink={up_bytes:,} B")
+    dense_acc, dense_bytes = rows["dense"]
+    # 8-bit quantization is nearly free in accuracy, 4x cheaper on the wire.
+    assert rows["8-bit"][0] > dense_acc - 0.08
+    assert rows["8-bit"][1] < 0.3 * dense_bytes
+    # Moderate sparsification stays in the game at a fraction of the bytes.
+    assert rows["top-25%"][1] < 0.55 * dense_bytes
+    assert rows["top-25%"][0] > dense_acc - 0.15
+
+
+def test_ablation_dropout_robustness(once):
+    def run():
+        fed = image_fed_builder("synth_mnist", 10, 0.0)(0)
+        config = silo_config(rounds=40, eval_every=4)
+        accs = {}
+        for prob in [0.0, 0.3]:
+            alg = RFedAvgPlus(lam=LAMBDA)
+            if prob:
+                alg = alg.with_faults(FaultModel(dropout_prob=prob, seed=1))
+            accs[prob], _ = _run_once(alg, fed, config)
+        return accs
+
+    accs = once(run)
+    banner("Ablation — rFedAvg+ under client dropout")
+    for prob, acc in accs.items():
+        report(f"dropout={prob}: acc={acc:.4f}")
+    # 30% churn costs some accuracy but must not collapse the run.
+    assert accs[0.3] > 0.5 * accs[0.0]
+
+
+def test_ablation_byzantine_limitation(once):
+    """The paper's acknowledged limitation: regularization does not
+    defend against outlier clients.  A sign-flip attacker hurts
+    rFedAvg+ about as much as FedAvg — there is no implicit robustness."""
+
+    def run():
+        fed = image_fed_builder("synth_mnist", 10, 0.0)(0)
+        config = silo_config(rounds=30, eval_every=5, lr=0.2)
+        out = {}
+        for label, alg in [
+            ("fedavg-clean", FedAvg()),
+            ("fedavg-attacked", FedAvg().with_faults(
+                FaultModel(byzantine_clients=(0,), corruption_scale=3.0, seed=2))),
+            ("rfedavg+-clean", RFedAvgPlus(lam=LAMBDA)),
+            ("rfedavg+-attacked", RFedAvgPlus(lam=LAMBDA).with_faults(
+                FaultModel(byzantine_clients=(0,), corruption_scale=3.0, seed=2))),
+        ]:
+            out[label], _ = _run_once(alg, fed, config)
+        return out
+
+    out = once(run)
+    banner("Ablation — byzantine outlier (the paper's stated limitation)")
+    for label, acc in out.items():
+        report(f"{label:20s} acc={acc:.4f}")
+    assert out["fedavg-attacked"] < out["fedavg-clean"]
+    assert out["rfedavg+-attacked"] < out["rfedavg+-clean"]

@@ -1,0 +1,57 @@
+"""Figure 11 — fairness evaluation (scaled).
+
+Paper: scatter of per-client accuracies for FedAvg vs rFedAvg+ on
+MNIST and CIFAR; the worst clients (red circles) sit higher under
+rFedAvg+.  Here: per-client accuracy of the final global model on each
+client's shard; we print the distribution summary and check the
+worst-k statistic.
+"""
+
+from benchmarks.common import (
+    LAMBDA,
+    SILO_CLIENTS,
+    banner,
+    image_fed_builder,
+    run_comparison,
+    silo_config,
+    report,
+)
+from repro.analysis.fairness import fairness_report
+
+ALGORITHMS = {"fedavg": {}, "rfedavg+": {"lam": LAMBDA}}
+
+
+def _run(dataset):
+    return run_comparison(
+        ALGORITHMS,
+        image_fed_builder(dataset, SILO_CLIENTS, 0.0),
+        silo_config(rounds=50, eval_every=10),
+        repeats=2,
+        eval_per_client=True,
+    )
+
+
+def _mean_report(result, worst_k=3):
+    reports = [
+        fairness_report(h.per_client_accuracy, worst_k=worst_k)
+        for h in result.histories
+    ]
+    keys = reports[0].keys()
+    return {k: sum(r[k] for r in reports) / len(reports) for k in keys}
+
+
+def test_fig11_fairness_mnist_cifar(once):
+    def run_both():
+        return _run("synth_mnist"), _run("synth_cifar")
+
+    mnist, cifar = once(run_both)
+    for label, results in [("MNIST", mnist), ("CIFAR", cifar)]:
+        banner(f"Fig. 11 — per-client fairness, synth-{label} Sim 0%")
+        for name, result in results.items():
+            stats = _mean_report(result)
+            pretty = {k: round(v, 4) for k, v in stats.items()}
+            report(f"{name:10s} {pretty}")
+        avg = _mean_report(results["fedavg"])
+        plus = _mean_report(results["rfedavg+"])
+        # Paper shape: the worst clients are served no worse by rFedAvg+.
+        assert plus["worst3_mean"] >= avg["worst3_mean"] - 0.05, label

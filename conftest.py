@@ -1,0 +1,1 @@
+"""Root pytest configuration (shared by tests/ and benchmarks/)."""

@@ -1,0 +1,56 @@
+"""Instantiating the paper's convergence bounds on real training.
+
+Estimates the Theorem 1/2 constants (L, mu, G, H, tau) for a strongly
+convex logistic model on a non-IID federation, runs rFedAvg+ with the
+theory's inverse-decay learning-rate schedule, and prints the measured
+optimality gap next to the theoretical envelope.
+
+    python examples/convergence_bounds.py
+"""
+
+from repro.algorithms import RFedAvgPlus
+from repro.analysis.convergence import (
+    constant_c2,
+    constant_c3,
+    theorem1_bound,
+    theory_schedule,
+)
+from repro.analysis.estimation import estimate_problem_constants
+from repro.experiments import build_image_federation, default_model_fn
+from repro.fl import FLConfig, run_federated
+
+
+def main() -> None:
+    fed = build_image_federation(
+        "synth_mnist", num_clients=8, similarity=0.0, num_train=1600, num_test=400
+    )
+    model_fn = default_model_fn("logistic", fed.spec)
+
+    lam = 1e-3
+    constants = estimate_problem_constants(
+        model_fn(), fed, local_steps=5, lam=lam
+    )
+    print("estimated constants:")
+    print(f"  L   = {constants.smoothness:.3f}   mu  = {constants.strong_convexity:.4f}")
+    print(f"  G   = {constants.grad_bound:.3f}   H   = {constants.phi_grad_bound:.3f}")
+    print(f"  tau = {constants.diameter:.3f}   gamma = {constants.gamma:.1f}")
+    print(f"  C2  = {constant_c2(constants):.1f}  <  C3 = {constant_c3(constants):.1f}"
+          "   (rFedAvg+'s smaller constant, Thm. 1 vs Thm. 2)")
+
+    config = FLConfig(
+        rounds=40, local_steps=5, batch_size=64, sample_ratio=1.0,
+        lr_schedule=theory_schedule(constants), eval_every=4,
+    )
+    history = run_federated(RFedAvgPlus(lam=lam), fed, model_fn, config)
+
+    losses = history.test_losses()
+    f_star = losses[:, 1].min()
+    print("\nround   measured gap   Thm.1 envelope")
+    for round_idx, loss in losses:
+        t = int(round_idx) * config.local_steps
+        bound = theorem1_bound(max(t, 1), constants, initial_gap=float(losses[0, 1]))
+        print(f"{int(round_idx):5d}   {loss - f_star:12.4f}   {bound:14.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Plugging a custom architecture into the federated runtime.
+
+Any network expressed as a feature extractor + head SplitModel can be
+trained with every algorithm in the library — this example builds a
+custom CNN variant (extra conv block, LeakyReLU, dropout) from raw
+``repro.nn`` layers and runs it under rFedAvg+ on synth-FEMNIST.
+
+    python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.algorithms import make_algorithm
+from repro.experiments import build_femnist_federation
+from repro.fl import FLConfig, run_federated
+from repro.models import SplitModel
+
+
+def build_custom_cnn(seed: int) -> SplitModel:
+    """3-block CNN with 48-d features for 12x12 grayscale glyphs."""
+    rng = np.random.default_rng(seed)
+    features = nn.Sequential(
+        nn.Conv2d(1, 8, 3, padding=1, rng=rng),
+        nn.LeakyReLU(0.1),
+        nn.MaxPool2d(2),  # 12 -> 6
+        nn.Conv2d(8, 16, 3, padding=1, rng=rng),
+        nn.LeakyReLU(0.1),
+        nn.MaxPool2d(2),  # 6 -> 3
+        nn.Flatten(),
+        nn.Dropout(0.1, seed=seed),
+        nn.Linear(16 * 3 * 3, 48, rng=rng),
+        nn.ReLU(),
+    )
+    head = nn.Linear(48, 10, rng=rng)
+    return SplitModel(features, head, feature_dim=48)
+
+
+def main() -> None:
+    fed = build_femnist_federation(num_writers=20, samples_per_writer=25, seed=0)
+    config = FLConfig(
+        rounds=15, local_steps=5, batch_size=16, sample_ratio=0.5, lr=0.1, eval_every=3
+    )
+    algorithm = make_algorithm("rfedavg+", lam=1e-3)
+    history = run_federated(algorithm, fed, lambda: build_custom_cnn(0), config)
+    print("custom CNN on synth-FEMNIST (20 writers, SR=0.5):")
+    for round_idx, accuracy in history.accuracies():
+        print(f"  round {int(round_idx):3d}  test accuracy {accuracy:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Federated sentiment analysis with the paper's LSTM on synth-Sent140.
+
+Demonstrates the sequence-model path: Embedding -> 2-layer LSTM ->
+FC feature layer (where the MMD regularizer acts) -> classifier, trained
+with RMSProp exactly as the paper configures Sent140.  The federation is
+*naturally* non-IID: one client per simulated Twitter user, each with
+their own vocabulary and sentiment prior.
+
+    python examples/sentiment_lstm.py
+"""
+
+from repro.algorithms import make_algorithm
+from repro.data.stats import quantity_imbalance
+from repro.experiments import build_sent140_federation, default_model_fn
+from repro.fl import FLConfig, run_federated
+
+
+def main() -> None:
+    fed = build_sent140_federation(num_users=20, iid=False, seed=0)
+    print(
+        f"{fed.num_clients} users, "
+        f"{fed.total_train_samples()} tweets, "
+        f"quantity imbalance (cv): {quantity_imbalance(fed.client_sizes):.2f}"
+    )
+
+    config = FLConfig(
+        rounds=10,
+        local_steps=5,
+        batch_size=10,
+        sample_ratio=1.0,
+        optimizer="rmsprop",
+        lr=0.01,
+        eval_every=2,
+    )
+    model_fn = default_model_fn("lstm", fed.spec, scale=0.15)
+
+    for name, kwargs in [("fedavg", {}), ("rfedavg+", {"lam": 1e-2})]:
+        algorithm = make_algorithm(name, **kwargs)
+        history = run_federated(algorithm, fed, model_fn, config)
+        print(f"\n=== {name} (LSTM + RMSProp) ===")
+        for round_idx, accuracy in history.accuracies():
+            print(f"  round {int(round_idx):3d}  test accuracy {accuracy:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build a wheel.
+This shim lets ``python setup.py develop`` provide the editable install
+instead; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

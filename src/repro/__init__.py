@@ -1,0 +1,47 @@
+"""repro — reproduction of "Distribution-Regularized Federated Learning
+on Non-IID Data" (Wang et al., ICDE 2023).
+
+Public API tour:
+
+* :mod:`repro.nn` — numpy neural-network substrate (layers, losses,
+  optimizers, flat-parameter serialization).
+* :mod:`repro.models` — the paper's CNN and LSTM as
+  feature-extractor/head :class:`~repro.models.SplitModel` pairs.
+* :mod:`repro.data` — synthetic MNIST / CIFAR10 / Sent140 / FEMNIST
+  stand-ins plus the paper's non-IID partitioners.
+* :mod:`repro.core` — MMD, delta tables, the distribution regularizer,
+  and DP noise on delta.
+* :mod:`repro.algorithms` — FedAvg, FedProx, SCAFFOLD, q-FedAvg,
+  rFedAvg, rFedAvg+ (and an exact-regularizer reference).
+* :mod:`repro.fl` — the federated simulation runtime.
+* :mod:`repro.experiments` — presets and the per-table/figure registry.
+* :mod:`repro.analysis` — convergence bounds, fairness stats, t-SNE.
+
+Quickstart::
+
+    from repro.experiments import build_image_federation, default_model_fn
+    from repro.algorithms import make_algorithm
+    from repro.fl import FLConfig, run_federated
+
+    fed = build_image_federation("synth_mnist", num_clients=10, similarity=0.0)
+    config = FLConfig(rounds=20, local_steps=5, batch_size=32, lr=0.1)
+    history = run_federated(
+        make_algorithm("rfedavg+", lam=1e-3), fed,
+        default_model_fn("mlp", fed.spec), config,
+    )
+    print(history.last_accuracy())
+"""
+
+__version__ = "1.0.0"
+
+from repro import nn  # noqa: F401  (re-export the substrate)
+from repro.exceptions import ConfigError, DataError, ProtocolError, ReproError
+
+__all__ = [
+    "nn",
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "ProtocolError",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Algorithm strategy interface and shared round machinery.
+
+The trainer (:mod:`repro.fl.trainer`) owns the protocol loop; an
+algorithm owns *what happens inside one round*: broadcasting, local
+updates, aggregation, and any extra synchronization phases.  The base
+class provides the FedAvg-shaped round that every method here extends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+from repro.exceptions import ProtocolError
+from repro.fl.client import LocalResult, local_sgd_steps
+from repro.fl.comm import CommLedger
+from repro.fl.config import FLConfig
+from repro.fl.server import weighted_average
+from repro.models.split import SplitModel
+from repro.nn.serialization import get_flat_params, num_params, set_flat_params
+
+
+@dataclass
+class RoundStats:
+    """What one round reports back to the trainer."""
+
+    train_loss: float
+    reg_loss: float = 0.0
+
+
+class FederatedAlgorithm:
+    """Base strategy: plain FedAvg round structure.
+
+    Subclasses may override :meth:`_reg_hook` / :meth:`_grad_hook` to
+    modify local training, :meth:`_aggregate` to change aggregation, and
+    :meth:`_post_aggregate` for extra synchronization phases.
+
+    Lifecycle: construct -> :meth:`setup` (binds model workspace,
+    dataset, config) -> :meth:`run_round` once per communication round.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.model: SplitModel | None = None
+        self.fed: FederatedDataset | None = None
+        self.config: FLConfig | None = None
+        self.global_params: np.ndarray | None = None
+        self.ledger: CommLedger | None = None
+        self.model_size = 0
+        self.compressor = None  # optional upload Compressor
+        self.fault_model = None  # optional FaultModel
+
+    def with_compressor(self, compressor) -> "FederatedAlgorithm":
+        """Compress client model uploads (FedAvg-family rounds only).
+
+        The compressor acts on the *update* (local params minus the
+        round's global params); the server aggregates the lossy
+        reconstruction and the ledger is charged the compressed size.
+        """
+        self.compressor = compressor
+        return self
+
+    def with_faults(self, fault_model) -> "FederatedAlgorithm":
+        """Inject client dropout / byzantine corruption into rounds."""
+        self.fault_model = fault_model
+        return self
+
+    # -- lifecycle ---------------------------------------------------------------
+    def setup(self, model: SplitModel, fed: FederatedDataset, config: FLConfig) -> None:
+        """Bind the workspace model, the federated dataset and config."""
+        self.model = model
+        self.fed = fed
+        self.config = config
+        self.global_params = get_flat_params(model)
+        self.ledger = CommLedger(config.wire_dtype_bytes)
+        self.model_size = num_params(model)
+
+    def _require_setup(self) -> None:
+        if self.model is None or self.fed is None or self.config is None:
+            raise ProtocolError(f"{self.name}: setup() must be called before run_round()")
+
+    # -- per-client helpers --------------------------------------------------------
+    def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
+        """Deterministic per-(round, client) randomness."""
+        assert self.config is not None
+        return np.random.default_rng([self.config.seed, round_idx, client_id])
+
+    def _load_global(self) -> None:
+        assert self.model is not None and self.global_params is not None
+        set_flat_params(self.model, self.global_params)
+
+    def _train_one_client(
+        self,
+        round_idx: int,
+        client_id: int,
+        reg_hook=None,
+        grad_hook=None,
+    ) -> tuple[np.ndarray, LocalResult]:
+        """Load global params, run E local steps, return (params, result)."""
+        assert self.model is not None and self.fed is not None and self.config is not None
+        self._load_global()
+        result = local_sgd_steps(
+            self.model,
+            self.fed.clients[client_id],
+            self.config,
+            self.client_rng(round_idx, client_id),
+            step_offset=round_idx * self.config.local_steps,
+            reg_hook=reg_hook,
+            grad_hook=grad_hook,
+        )
+        return get_flat_params(self.model), result
+
+    # -- extension points ------------------------------------------------------------
+    def _reg_hook(self, round_idx: int, client_id: int):
+        """Distribution-regularizer hook for one client round (or None)."""
+        return None
+
+    def _grad_hook(self, round_idx: int, client_id: int):
+        """Parameter-gradient correction hook for one client round (or None)."""
+        return None
+
+    def _aggregate(
+        self, round_idx: int, selected: np.ndarray, updates: list[np.ndarray]
+    ) -> np.ndarray:
+        """Default: data-size-weighted average of the selected clients."""
+        assert self.fed is not None
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        return weighted_average(updates, weights)
+
+    def _post_aggregate(self, round_idx: int, selected: np.ndarray) -> None:
+        """Extra synchronization after aggregation (rFedAvg+ overrides)."""
+
+    def _charge_broadcast(self, selected: np.ndarray) -> None:
+        assert self.ledger is not None
+        self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
+
+    def _charge_upload(self, selected: np.ndarray) -> None:
+        assert self.ledger is not None
+        self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
+
+    def _apply_upload_pipeline(
+        self, round_idx: int, client_id: int, params: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Run a client's upload through faults + compression.
+
+        Returns the parameters the server actually receives and the
+        wire size in scalars.
+        """
+        assert self.global_params is not None and self.config is not None
+        if self.fault_model is not None:
+            params = self.fault_model.maybe_corrupt(
+                client_id, params, self.global_params
+            )
+        if self.compressor is None:
+            return params, self.model_size
+        rng = np.random.default_rng([self.config.seed, round_idx, client_id, 0xC0])
+        recon, wire = self.compressor.compress(params - self.global_params, rng)
+        return self.global_params + recon, wire
+
+    # -- the round ---------------------------------------------------------------------
+    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
+        """Execute one communication round over ``selected`` clients."""
+        self._require_setup()
+        if self.fault_model is not None:
+            selected = self.fault_model.surviving_clients(selected)
+        self._charge_broadcast(selected)
+        updates: list[np.ndarray] = []
+        task_losses: list[float] = []
+        reg_losses: list[float] = []
+        for client_id in selected:
+            params, result = self._train_one_client(
+                round_idx,
+                int(client_id),
+                reg_hook=self._reg_hook(round_idx, int(client_id)),
+                grad_hook=self._grad_hook(round_idx, int(client_id)),
+            )
+            params, wire = self._apply_upload_pipeline(round_idx, int(client_id), params)
+            assert self.ledger is not None
+            self.ledger.charge(CommLedger.UP, "model", wire)
+            updates.append(params)
+            task_losses.append(result.mean_task_loss)
+            reg_losses.append(result.mean_reg_loss)
+        self.global_params = self._aggregate(round_idx, selected, updates)
+        self._post_aggregate(round_idx, selected)
+        assert self.fed is not None
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+        return RoundStats(
+            train_loss=float(np.dot(weights, task_losses)),
+            reg_loss=float(np.dot(weights, reg_losses)),
+        )

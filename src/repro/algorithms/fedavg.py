@@ -1,0 +1,16 @@
+"""FedAvg (McMahan et al. 2017) — the vanilla baseline.
+
+The base class already implements the FedAvg round: broadcast the
+global model, E local minibatch-SGD steps per selected client,
+data-size-weighted parameter averaging.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import FederatedAlgorithm
+
+
+class FedAvg(FederatedAlgorithm):
+    """Vanilla Federated Averaging."""
+
+    name = "fedavg"

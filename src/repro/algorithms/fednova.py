@@ -1,0 +1,96 @@
+"""FedNova (Wang et al., NeurIPS 2020) — normalized averaging.
+
+Reference [30] of the paper ("tackling the objective inconsistency
+problem in heterogeneous federated optimization").  When clients run
+different numbers of local steps (or the same number with different
+effective progress), plain FedAvg optimizes a mismatched objective;
+FedNova normalizes each client's cumulative update by its local step
+count before averaging, then applies the weighted-average effective step:
+
+    d_k  = (x - y_k) / tau_k                (normalized update direction)
+    x   <- x - (sum_k p_k tau_k) * sum_k p_k d_k
+
+With homogeneous tau_k this reduces to FedAvg, which the tests verify.
+This implementation also supports heterogeneous local steps via the
+``local_steps_fn`` knob (clients may do fewer steps than E — stragglers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm, RoundStats
+from repro.fl.client import local_sgd_steps
+from repro.fl.comm import CommLedger
+from repro.nn.serialization import get_flat_params
+
+
+class FedNova(FederatedAlgorithm):
+    """Normalized-averaging FedAvg variant.
+
+    Args:
+        local_steps_fn: optional (round, client) -> step count override,
+            for simulating heterogeneous local work.  Defaults to the
+            config's E everywhere.
+    """
+
+    name = "fednova"
+
+    def __init__(self, local_steps_fn: Callable[[int, int], int] | None = None) -> None:
+        super().__init__()
+        self.local_steps_fn = local_steps_fn
+
+    def _steps_for(self, round_idx: int, client_id: int) -> int:
+        assert self.config is not None
+        if self.local_steps_fn is None:
+            return self.config.local_steps
+        steps = int(self.local_steps_fn(round_idx, client_id))
+        return max(1, steps)
+
+    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
+        self._require_setup()
+        assert (
+            self.model is not None
+            and self.fed is not None
+            and self.config is not None
+            and self.ledger is not None
+            and self.global_params is not None
+        )
+        if self.fault_model is not None:
+            selected = self.fault_model.surviving_clients(selected)
+        self._charge_broadcast(selected)
+
+        x = self.global_params
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+
+        directions: list[np.ndarray] = []
+        taus: list[int] = []
+        task_losses: list[float] = []
+        for client_id in selected:
+            cid = int(client_id)
+            tau = self._steps_for(round_idx, cid)
+            self._load_global()
+            result = local_sgd_steps(
+                self.model,
+                self.fed.clients[cid],
+                self.config.with_updates(local_steps=tau),
+                self.client_rng(round_idx, cid),
+                step_offset=round_idx * self.config.local_steps,
+            )
+            task_losses.append(result.mean_task_loss)
+            y_k = get_flat_params(self.model)
+            y_k, wire = self._apply_upload_pipeline(round_idx, cid, y_k)
+            self.ledger.charge(CommLedger.UP, "model", wire)
+            directions.append((x - y_k) / tau)
+            taus.append(tau)
+
+        effective_tau = float(np.dot(weights, taus))
+        mean_direction = np.sum(
+            [w * d for w, d in zip(weights, directions)], axis=0
+        )
+        self.global_params = x - effective_tau * mean_direction
+        self._post_aggregate(round_idx, selected)
+        return RoundStats(train_loss=float(np.dot(weights, task_losses)))

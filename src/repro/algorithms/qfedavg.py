@@ -1,0 +1,82 @@
+"""q-FedAvg (Li et al., ICLR 2020 — "Fair Resource Allocation in FL").
+
+q-FedAvg reweights client updates by their loss raised to the power q,
+so high-loss (disadvantaged) clients pull the global model harder.  The
+update follows the q-FFL paper: with F_k the client's loss at the round
+start, L = 1/eta the Lipschitz estimate, and Delta_k = L * (w - w_k):
+
+    h_k  = q * F_k^(q-1) * ||Delta_k||^2 + L * F_k^q
+    w   <- w - sum_k F_k^q * Delta_k / sum_k h_k
+
+q = 0 recovers (an unweighted variant of) FedAvg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm, RoundStats
+from repro.exceptions import ConfigError
+from repro.fl.client import evaluate_model
+from repro.fl.comm import CommLedger
+
+
+class QFedAvg(FederatedAlgorithm):
+    """Fairness-weighted federated averaging.
+
+    Args:
+        q: fairness exponent (paper: 1.0 on MNIST/CIFAR, 1e-4 on Sent140).
+    """
+
+    name = "qfedavg"
+
+    def __init__(self, q: float = 1.0) -> None:
+        super().__init__()
+        if q < 0:
+            raise ConfigError(f"q must be non-negative, got {q}")
+        self.q = q
+
+    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
+        self._require_setup()
+        assert (
+            self.model is not None
+            and self.fed is not None
+            and self.config is not None
+            and self.ledger is not None
+            and self.global_params is not None
+        )
+        self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
+
+        lipschitz = 1.0 / self.config.lr
+        eps = 1e-10
+        numerators: list[np.ndarray] = []
+        denominators: list[float] = []
+        task_losses: list[float] = []
+        for client_id in selected:
+            cid = int(client_id)
+            # Loss of the *global* model on the client's data (F_k(w^t)).
+            self._load_global()
+            start_loss, _acc = evaluate_model(
+                self.model, self.fed.clients[cid], self.config.eval_batch
+            )
+            start_loss = max(start_loss, eps)
+            params, result = self._train_one_client(round_idx, cid)
+            task_losses.append(result.mean_task_loss)
+            delta = lipschitz * (self.global_params - params)
+            f_pow_q = start_loss**self.q
+            numerators.append(f_pow_q * delta)
+            denominators.append(
+                self.q * start_loss ** (self.q - 1.0) * float(delta @ delta)
+                + lipschitz * f_pow_q
+            )
+        # Uplink: Delta_k and the scalar h_k per client.
+        self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
+        self.ledger.charge(CommLedger.UP, "scalar", 1, copies=len(selected))
+
+        total_h = float(np.sum(denominators))
+        update = np.sum(numerators, axis=0) / max(total_h, eps)
+        self.global_params = self.global_params - update
+
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+        return RoundStats(train_loss=float(np.dot(weights, task_losses)))

@@ -1,0 +1,62 @@
+"""Shared machinery for the distribution-regularized algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm
+from repro.core.delta import DeltaTable
+from repro.core.privacy import GaussianDeltaMechanism
+from repro.core.regularizer import DistributionRegularizer
+from repro.exceptions import ConfigError
+from repro.fl.client import compute_mean_embedding
+
+
+class RegularizedAlgorithm(FederatedAlgorithm):
+    """Base for rFedAvg variants: owns the delta table and regularizer.
+
+    Args:
+        lam: regularization weight lambda (Eq. 3); also acts as the
+            normalization coefficient, so good values are dataset
+            dependent (paper: 1e-4 MNIST, 1e-5 CIFAR, 0.1 Sent140).
+        mode: 'pairwise' or 'loo' — which r_k form the clients optimize.
+        privacy: optional Gaussian mechanism applied to every delta a
+            client uploads (Fig. 12).
+    """
+
+    name = "regularized-base"
+
+    def __init__(
+        self,
+        lam: float,
+        mode: str,
+        privacy: GaussianDeltaMechanism | None = None,
+    ) -> None:
+        super().__init__()
+        if lam < 0:
+            raise ConfigError(f"lambda must be non-negative, got {lam}")
+        self.lam = lam
+        self.regularizer = DistributionRegularizer(lam, mode=mode)
+        self.privacy = privacy
+        self.delta_table: DeltaTable | None = None
+
+    def setup(self, model, fed, config) -> None:
+        super().setup(model, fed, config)
+        self.delta_table = DeltaTable(
+            fed.num_clients, model.feature_dim, dtype_bytes=config.wire_dtype_bytes
+        )
+
+    def _client_delta(self, client_id: int) -> np.ndarray:
+        """Compute (and optionally privatize) client k's mean embedding
+        under the *current workspace model* parameters."""
+        assert self.model is not None and self.fed is not None and self.config is not None
+        shard = self.fed.clients[client_id]
+        delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
+        if self.privacy is not None:
+            delta = self.privacy.privatize(delta, batch_size=len(shard))
+        return delta
+
+    def delta_payload_bytes(self) -> int:
+        """Wire size of one delta vector."""
+        assert self.model is not None and self.config is not None
+        return self.model.feature_dim * self.config.wire_dtype_bytes

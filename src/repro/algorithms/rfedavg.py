@@ -1,0 +1,114 @@
+"""rFedAvg — Algorithm 1 of the paper.
+
+Each round the server broadcasts the global model *and the full table of
+per-client deltas* from the previous round; each client runs E local
+SGD steps on ``f_k + lambda * r'_k`` where the regularizer measures the
+squared MMD between the client's *current* batch embedding and every
+other client's *delayed* delta.  After local training the client
+recomputes its own delta **with its final local model** (the per-client
+inconsistency the Remarks in Sec. IV-B call out, and the reason
+Theorem 2's constant C3 exceeds Theorem 1's C2) and uploads it with the
+model.
+
+Communication per round: the table broadcast costs O(d * N) per client,
+O(d * N^2) total — the overhead rFedAvg+ removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import RoundStats
+from repro.algorithms.regularized import RegularizedAlgorithm
+from repro.core.privacy import GaussianDeltaMechanism
+from repro.core.regularizer import DistributionRegularizer
+from repro.fl.comm import CommLedger
+
+
+class RFedAvg(RegularizedAlgorithm):
+    """Distribution-regularized FedAvg with delayed per-client mappings."""
+
+    name = "rfedavg"
+
+    def __init__(
+        self, lam: float = 1e-4, privacy: GaussianDeltaMechanism | None = None
+    ) -> None:
+        super().__init__(lam, mode=DistributionRegularizer.PAIRWISE, privacy=privacy)
+
+    def _reg_hook(self, round_idx: int, client_id: int):
+        assert self.delta_table is not None
+        table = self.delta_table
+        if not table.any_reported:
+            # Round 0: the delta table still holds the zero placeholder;
+            # regularizing toward it would be meaningless, so skip.
+            return None
+        others = self._others_rows(client_id)
+        if others is None:
+            return None
+        regularizer = self.regularizer
+
+        def hook(features: np.ndarray):
+            result = regularizer.evaluate(features, others)
+            return result.loss, result.feature_grad
+
+        return hook
+
+    def _others_rows(self, client_id: int) -> np.ndarray | None:
+        """Reported delta rows of every client except ``client_id``."""
+        assert self.delta_table is not None
+        mask = self.delta_table.reported_mask
+        mask[client_id] = False
+        if not mask.any():
+            return None
+        return self.delta_table.full_table()[mask]
+
+    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
+        self._require_setup()
+        assert (
+            self.fed is not None
+            and self.ledger is not None
+            and self.delta_table is not None
+        )
+        # Downlink: model + the full (N, d) delta table per client.
+        self._charge_broadcast(selected)
+        if self.delta_table.any_reported:
+            self.ledger.charge(
+                CommLedger.DOWN,
+                "delta",
+                self.fed.num_clients * self.model.feature_dim,
+                copies=len(selected),
+            )
+
+        updates: list[np.ndarray] = []
+        task_losses: list[float] = []
+        reg_losses: list[float] = []
+        new_deltas: dict[int, np.ndarray] = {}
+        for client_id in selected:
+            cid = int(client_id)
+            params, result = self._train_one_client(
+                round_idx, cid, reg_hook=self._reg_hook(round_idx, cid)
+            )
+            # Delta computed with the client's final *local* model — the
+            # inconsistent mapping that motivates rFedAvg+ (workspace
+            # model still holds the local parameters here).
+            new_deltas[cid] = self._client_delta(cid)
+            updates.append(params)
+            task_losses.append(result.mean_task_loss)
+            reg_losses.append(result.mean_reg_loss)
+
+        # Uplink: model + own delta per client.
+        self._charge_upload(selected)
+        self.ledger.charge(
+            CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
+        )
+
+        self.global_params = self._aggregate(round_idx, selected, updates)
+        for cid, delta in new_deltas.items():
+            self.delta_table.update(cid, delta)
+
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+        return RoundStats(
+            train_loss=float(np.dot(weights, task_losses)),
+            reg_loss=float(np.dot(weights, reg_losses)),
+        )

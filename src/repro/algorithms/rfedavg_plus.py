@@ -1,0 +1,82 @@
+"""rFedAvg+ — Algorithm 2 of the paper.
+
+Two changes over rFedAvg:
+
+1. **Double synchronization.**  After aggregation the server broadcasts
+   the *new global model* a second time and every participating client
+   recomputes its delta with it, so all deltas in the table come from
+   one consistent model (smaller convergence constant C2 < C3).
+2. **Leave-one-out averaging.**  Instead of the full (N, d) table, each
+   client receives only the average of the other clients' deltas
+   ``delta^{-k}`` and optimizes ``r~_k = ||delta^k - delta^{-k}||^2``,
+   which has the same gradient as the pairwise form but shrinks the
+   broadcast from O(d N^2) to O(d N).
+
+The price is a second model broadcast per round, which the ledger
+charges honestly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.regularized import RegularizedAlgorithm
+from repro.core.privacy import GaussianDeltaMechanism
+from repro.core.regularizer import DistributionRegularizer
+from repro.fl.comm import CommLedger
+
+
+class RFedAvgPlus(RegularizedAlgorithm):
+    """Distribution-regularized FedAvg with consistent global mappings."""
+
+    name = "rfedavg+"
+
+    def __init__(
+        self, lam: float = 1e-4, privacy: GaussianDeltaMechanism | None = None
+    ) -> None:
+        super().__init__(lam, mode=DistributionRegularizer.LOO, privacy=privacy)
+
+    def _reg_hook(self, round_idx: int, client_id: int):
+        assert self.delta_table is not None
+        if not self.delta_table.any_reported:
+            return None
+        target = self.delta_table.mean_of_others(client_id)
+        regularizer = self.regularizer
+
+        def hook(features: np.ndarray):
+            result = regularizer.evaluate(features, target)
+            return result.loss, result.feature_grad
+
+        return hook
+
+    def _charge_broadcast(self, selected: np.ndarray) -> None:
+        """Phase-1 downlink: model + each client's own delta^{-k}."""
+        super()._charge_broadcast(selected)
+        assert self.ledger is not None and self.delta_table is not None
+        if self.delta_table.any_reported:
+            self.ledger.charge(
+                CommLedger.DOWN,
+                "delta",
+                self.model.feature_dim,
+                copies=len(selected),
+            )
+
+    def _post_aggregate(self, round_idx: int, selected: np.ndarray) -> None:
+        """Phase 2: second sync — deltas from the fresh global model."""
+        assert (
+            self.ledger is not None
+            and self.delta_table is not None
+            and self.model is not None
+        )
+        # Server sends the aggregated model back down...
+        self.ledger.charge(
+            CommLedger.DOWN, "model", self.model_size, copies=len(selected)
+        )
+        # ...and every participating client computes its delta with it.
+        self._load_global()
+        for client_id in selected:
+            cid = int(client_id)
+            self.delta_table.update(cid, self._client_delta(cid))
+        self.ledger.charge(
+            CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
+        )

@@ -1,0 +1,114 @@
+"""SCAFFOLD (Karimireddy et al., ICML 2020).
+
+SCAFFOLD corrects client drift with control variates: the server keeps a
+global control ``c`` and each client a local control ``c_k``; local
+gradients are corrected by ``(c - c_k)``, and after E steps the client
+refreshes its control with option-II:
+
+    c_k+ = c_k - c + (x - y_k) / (E * eta_l)
+
+The server then moves the global model by ``eta_g`` times the average
+model delta and the global control by the participation-weighted average
+control delta.  Communication doubles in both directions (model +
+control), which the ledger charges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm, RoundStats
+from repro.exceptions import ConfigError
+from repro.fl.comm import CommLedger
+from repro.models.split import SplitModel
+from repro.nn.optim import ConstantLR
+from repro.nn.serialization import add_flat_to_grads
+
+
+class Scaffold(FederatedAlgorithm):
+    """SCAFFOLD with option-II control updates.
+
+    Args:
+        eta_g: server learning rate (the paper sets 1.0 everywhere).
+    """
+
+    name = "scaffold"
+
+    def __init__(self, eta_g: float = 1.0) -> None:
+        super().__init__()
+        if eta_g <= 0:
+            raise ConfigError(f"eta_g must be positive, got {eta_g}")
+        self.eta_g = eta_g
+        self.server_control: np.ndarray | None = None
+        self.client_controls: np.ndarray | None = None
+
+    def setup(self, model, fed, config) -> None:
+        super().setup(model, fed, config)
+        self.server_control = np.zeros(self.model_size)
+        self.client_controls = np.zeros((fed.num_clients, self.model_size))
+
+    def _grad_hook(self, round_idx: int, client_id: int):
+        assert self.server_control is not None and self.client_controls is not None
+        correction = self.server_control - self.client_controls[client_id]
+
+        def hook(model: SplitModel) -> None:
+            add_flat_to_grads(model, correction)
+
+        return hook
+
+    def _local_lr(self, round_idx: int) -> float:
+        """Learning rate used in the control refresh (schedule-aware)."""
+        assert self.config is not None
+        schedule = self.config.lr_schedule
+        if schedule is None:
+            schedule = ConstantLR(self.config.lr)
+        return schedule.rate(round_idx * self.config.local_steps)
+
+    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
+        self._require_setup()
+        assert (
+            self.ledger is not None
+            and self.fed is not None
+            and self.config is not None
+            and self.global_params is not None
+            and self.server_control is not None
+            and self.client_controls is not None
+        )
+        # Downlink: model + server control to every selected client.
+        self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
+        self.ledger.charge(CommLedger.DOWN, "control", self.model_size, copies=len(selected))
+
+        x = self.global_params
+        eta_l = self._local_lr(round_idx)
+        steps = self.config.local_steps
+        delta_ys: list[np.ndarray] = []
+        delta_cs: list[np.ndarray] = []
+        task_losses: list[float] = []
+        for client_id in selected:
+            cid = int(client_id)
+            y_k, result = self._train_one_client(
+                round_idx, cid, grad_hook=self._grad_hook(round_idx, cid)
+            )
+            task_losses.append(result.mean_task_loss)
+            new_control = (
+                self.client_controls[cid]
+                - self.server_control
+                + (x - y_k) / (steps * eta_l)
+            )
+            delta_cs.append(new_control - self.client_controls[cid])
+            self.client_controls[cid] = new_control
+            delta_ys.append(y_k - x)
+        # Uplink: model delta + control delta per client.
+        self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
+        self.ledger.charge(CommLedger.UP, "control", self.model_size, copies=len(selected))
+
+        mean_dy = np.mean(delta_ys, axis=0)
+        mean_dc = np.mean(delta_cs, axis=0)
+        self.global_params = x + self.eta_g * mean_dy
+        self.server_control = self.server_control + (
+            len(selected) / self.fed.num_clients
+        ) * mean_dc
+
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+        return RoundStats(train_loss=float(np.dot(weights, task_losses)))

@@ -1,0 +1,66 @@
+"""Training-curve shape statistics.
+
+The paper's Sec. VI-B2 observes that "the baselines' curves of test
+accuracy oscillate violently especially in cross-device settings while
+those of rFedAvg and rFedAvg+ look more stable with higher averages."
+These helpers turn that visual claim into numbers the benches can
+assert: an oscillation score, a monotone-trend fit, and the area under
+the accuracy curve (a convergence-speed summary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _validate_curve(curve: np.ndarray) -> np.ndarray:
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.ndim != 2 or curve.shape[1] != 2 or len(curve) < 3:
+        raise DataError("curve must be an (n >= 3, 2) array of (round, value)")
+    return curve
+
+
+def oscillation_score(curve: np.ndarray) -> float:
+    """Mean absolute step-to-step change of the value series.
+
+    Stable curves score near 0; violently oscillating ones score high.
+    """
+    curve = _validate_curve(curve)
+    return float(np.abs(np.diff(curve[:, 1])).mean())
+
+
+def detrended_oscillation(curve: np.ndarray) -> float:
+    """Oscillation net of the linear trend — pure wobble.
+
+    A fast-but-smooth learner has a large raw oscillation score simply
+    because it improves; subtracting the fitted linear trend isolates
+    the instability the paper's figure shows.
+    """
+    curve = _validate_curve(curve)
+    rounds, values = curve[:, 0], curve[:, 1]
+    slope, intercept = np.polyfit(rounds, values, 1)
+    residual = values - (slope * rounds + intercept)
+    return float(np.abs(np.diff(residual)).mean())
+
+
+def trend_slope(curve: np.ndarray) -> float:
+    """Slope of the least-squares linear fit (value per round)."""
+    curve = _validate_curve(curve)
+    slope, _ = np.polyfit(curve[:, 0], curve[:, 1], 1)
+    return float(slope)
+
+
+def area_under_curve(curve: np.ndarray) -> float:
+    """Trapezoidal AUC normalized by the round span.
+
+    Two methods with the same final accuracy but different convergence
+    speed separate here: faster convergence = larger normalized AUC.
+    """
+    curve = _validate_curve(curve)
+    rounds, values = curve[:, 0], curve[:, 1]
+    span = rounds[-1] - rounds[0]
+    if span <= 0:
+        raise DataError("curve must span more than one round")
+    return float(np.trapezoid(values, rounds) / span)

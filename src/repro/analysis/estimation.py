@@ -1,0 +1,175 @@
+"""Empirical estimation of the convergence-theory constants.
+
+Theorems 1 and 2 are stated in terms of abstract constants — smoothness
+L, strong convexity mu, gradient bounds G and G', the feature-map
+gradient bound H and diameter tau.  To *instantiate* the bounds on a
+concrete model/dataset (as the theory bench does), those constants must
+be measured.  This module estimates each one by randomized probing:
+
+* L and mu — extremal curvature along random directions, measured as
+  gradient differences over small parameter perturbations;
+* G (and G') — max stochastic gradient norm over sampled minibatches;
+* H — max norm of the feature-extractor Jacobian-transpose action on
+  random unit vectors (a lower bound on the operator norm, tight enough
+  for bound instantiation when maxed over many probes);
+* tau — max pairwise distance between per-client mean embeddings.
+
+All estimators are randomized lower bounds of the true suprema (upper
+bounds for mu); callers should inflate/deflate by a safety factor when
+instantiating worst-case bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, FederatedDataset
+from repro.exceptions import ConfigError
+from repro.fl.client import compute_mean_embedding
+from repro.models.split import SplitModel
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.serialization import get_flat_grads, get_flat_params, set_flat_params
+
+
+def _full_gradient(model: SplitModel, data: ArrayDataset, l2: float = 0.0) -> np.ndarray:
+    """Gradient of the (optionally L2-regularized) empirical risk."""
+    loss_fn = SoftmaxCrossEntropy()
+    loss_fn.forward(model.forward(data.x), data.y)
+    model.zero_grad()
+    model.backward(loss_fn.backward())
+    grad = get_flat_grads(model)
+    if l2:
+        grad = grad + l2 * get_flat_params(model)
+    return grad
+
+
+def estimate_curvature_range(
+    model: SplitModel,
+    data: ArrayDataset,
+    num_probes: int = 20,
+    epsilon: float = 1e-4,
+    l2: float = 0.0,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Estimate (mu, L): extremal directional curvatures of the risk.
+
+    For random unit directions d, the Rayleigh-like quotient
+    ``(grad(w + eps d) - grad(w)) . d / eps`` samples the Hessian
+    spectrum; its min/max over probes bound (mu, L) from inside.
+    """
+    if num_probes < 1:
+        raise ConfigError("num_probes must be positive")
+    rng = np.random.default_rng(seed)
+    w0 = get_flat_params(model)
+    g0 = _full_gradient(model, data, l2)
+    curvatures = []
+    for _ in range(num_probes):
+        direction = rng.normal(size=w0.size)
+        direction /= np.linalg.norm(direction)
+        set_flat_params(model, w0 + epsilon * direction)
+        g1 = _full_gradient(model, data, l2)
+        curvatures.append(float((g1 - g0) @ direction) / epsilon)
+    set_flat_params(model, w0)
+    return min(curvatures), max(curvatures)
+
+
+def estimate_gradient_bound(
+    model: SplitModel,
+    fed: FederatedDataset,
+    batch_size: int = 32,
+    num_samples: int = 30,
+    seed: int = 0,
+) -> float:
+    """G: max stochastic-gradient norm over sampled client minibatches."""
+    rng = np.random.default_rng(seed)
+    loss_fn = SoftmaxCrossEntropy()
+    worst = 0.0
+    for _ in range(num_samples):
+        client = int(rng.integers(0, fed.num_clients))
+        x, y = fed.clients[client].sample_batch(batch_size, rng)
+        loss_fn.forward(model.forward(x), y)
+        model.zero_grad()
+        model.backward(loss_fn.backward())
+        worst = max(worst, float(np.linalg.norm(get_flat_grads(model))))
+    return worst
+
+
+def estimate_phi_gradient_bound(
+    model: SplitModel,
+    data: ArrayDataset,
+    num_probes: int = 10,
+    batch_size: int = 16,
+    seed: int = 0,
+) -> float:
+    """H: max ||J_phi^T v|| over random unit feature directions v.
+
+    Backpropagating a unit vector through the feature extractor yields
+    the Jacobian-transpose action; the max over probes lower-bounds the
+    operator norm of grad phi.
+    """
+    if not model.features.parameters():
+        return 0.0  # parameter-free phi (e.g. raw flatten) has no gradient
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for _ in range(num_probes):
+        x, _y = data.sample_batch(batch_size, rng)
+        feats = model.features.forward(x)
+        v = rng.normal(size=feats.shape)
+        v /= np.linalg.norm(v)
+        model.zero_grad()
+        model.features.backward(v)
+        phi_grads = np.concatenate(
+            [p.grad.reshape(-1) for p in model.features.parameters()]
+        )
+        worst = max(worst, float(np.linalg.norm(phi_grads)))
+    return worst
+
+
+def estimate_embedding_diameter(model: SplitModel, fed: FederatedDataset) -> float:
+    """tau: max pairwise distance between client mean embeddings."""
+    deltas = np.stack(
+        [compute_mean_embedding(model, shard) for shard in fed.clients]
+    )
+    worst = 0.0
+    for i in range(len(deltas)):
+        gaps = np.linalg.norm(deltas[i + 1 :] - deltas[i], axis=1)
+        if len(gaps):
+            worst = max(worst, float(gaps.max()))
+    return worst
+
+
+def estimate_problem_constants(
+    model: SplitModel,
+    fed: FederatedDataset,
+    local_steps: int,
+    lam: float,
+    l2: float = 1e-2,
+    seed: int = 0,
+):
+    """One-call estimation of a full :class:`ProblemConstants` set.
+
+    The strong-convexity estimate is floored at the explicit L2 weight
+    (which is a certified lower bound when the risk itself is convex).
+    """
+    from repro.analysis.convergence import ProblemConstants
+
+    pooled_x = np.concatenate([c.x for c in fed.clients])
+    pooled_y = np.concatenate([c.y for c in fed.clients])
+    pooled = ArrayDataset(pooled_x, pooled_y)
+    mu_hat, l_hat = estimate_curvature_range(model, pooled, l2=l2, seed=seed)
+    g_hat = estimate_gradient_bound(model, fed, seed=seed)
+    h_hat = estimate_phi_gradient_bound(model, pooled, seed=seed)
+    tau_hat = estimate_embedding_diameter(model, fed)
+    mu = max(mu_hat, l2)
+    big_l = max(l_hat, mu + 1e-9)
+    return ProblemConstants(
+        smoothness=big_l,
+        strong_convexity=mu,
+        grad_bound=g_hat,
+        grad_bound_reg=g_hat * (1.0 + lam * max(tau_hat, 1.0)),
+        phi_grad_bound=max(h_hat, 1e-9),
+        diameter=max(tau_hat, 1e-9),
+        local_steps=local_steps,
+        num_clients=fed.num_clients,
+        lam=lam,
+    )

@@ -1,0 +1,39 @@
+"""Fairness statistics over per-client accuracies (Fig. 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def worst_k_mean(per_client_accuracy: np.ndarray, k: int = 5) -> float:
+    """Mean accuracy of the k worst-served clients."""
+    acc = np.sort(np.asarray(per_client_accuracy, dtype=np.float64))
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return float(acc[:k].mean())
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of per-client accuracy (0 = perfectly fair)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(v)
+    if n == 0:
+        raise ValueError("empty input")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * v).sum() - (n + 1) * total) / (n * total))
+
+
+def fairness_report(per_client_accuracy: np.ndarray, worst_k: int = 5) -> dict[str, float]:
+    """Summary used by the fairness bench: mean, spread, worst clients."""
+    acc = np.asarray(per_client_accuracy, dtype=np.float64)
+    return {
+        "mean": float(acc.mean()),
+        "std": float(acc.std()),
+        "min": float(acc.min()),
+        "max": float(acc.max()),
+        f"worst{worst_k}_mean": worst_k_mean(acc, worst_k),
+        "gini": gini_coefficient(acc),
+    }

@@ -1,0 +1,96 @@
+"""Terminal plotting: ASCII line charts and sparklines.
+
+The repository is offline-first (no matplotlib), but the paper's results
+are curves; these helpers render accuracy/loss trajectories directly in
+the terminal so examples and ad-hoc exploration stay self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """One-line unicode sparkline of a series."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigError("cannot sparkline an empty series")
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return _SPARK_LEVELS[0] * values.size
+    scaled = (values - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def ascii_plot(
+    series: dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Args:
+        series: name -> (n, 2) array of (x, y) points (History
+            ``accuracies()`` output plugs in directly).
+        width, height: plot area in characters.
+        y_label: optional axis caption.
+
+    Each series is drawn with its own marker; a legend follows the plot.
+    """
+    if not series:
+        raise ConfigError("nothing to plot")
+    markers = "*o+x#@%&"
+    cleaned = {}
+    for name, points in series.items():
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2 or len(points) == 0:
+            raise ConfigError(f"series {name!r} must be a non-empty (n, 2) array")
+        cleaned[name] = points
+
+    all_x = np.concatenate([p[:, 0] for p in cleaned.values()])
+    all_y = np.concatenate([p[:, 1] for p in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(cleaned.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in points:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_idx, row in enumerate(grid):
+        y_val = y_hi - row_idx * y_span / (height - 1)
+        lines.append(f"{y_val:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<.0f}" + " " * max(1, width - 12) + f"{x_hi:>.0f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_histories(histories: dict[str, "object"], metric: str = "accuracy", **kwargs) -> str:
+    """Convenience: plot several :class:`~repro.fl.metrics.History` runs."""
+    series = {}
+    for name, history in histories.items():
+        if metric == "accuracy":
+            series[name] = history.accuracies()
+        elif metric == "loss":
+            rounds = history.rounds().astype(np.float64)
+            series[name] = np.column_stack([rounds, history.train_losses()])
+        else:
+            raise ConfigError(f"unknown metric {metric!r}")
+    return ascii_plot(series, **kwargs)

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Run a federated experiment without writing Python::
+
+    python -m repro.cli run --dataset synth_cifar --algorithm rfedavg+ \
+        --clients 10 --similarity 0.0 --rounds 30 --lam 1e-3
+
+    python -m repro.cli list            # algorithms + datasets
+    python -m repro.cli experiments     # the paper table/figure index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms import ALGORITHMS, make_algorithm
+from repro.experiments import (
+    build_femnist_federation,
+    build_image_federation,
+    build_sent140_federation,
+    default_model_fn,
+)
+from repro.experiments.registry import EXPERIMENTS
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+
+DATASETS = ("synth_mnist", "synth_cifar", "synth_sent140", "synth_femnist")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Distribution-regularized FL reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one federated training job")
+    run.add_argument("--dataset", choices=DATASETS, default="synth_mnist")
+    run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="rfedavg+")
+    run.add_argument("--model", default=None,
+                     help="model name (default: mlp for images, lstm for sequences)")
+    run.add_argument("--clients", type=int, default=10)
+    run.add_argument("--similarity", type=float, default=0.0,
+                     help="similarity s in [0,1] for image datasets")
+    run.add_argument("--iid", action="store_true",
+                     help="IID split for the naturally non-IID datasets")
+    run.add_argument("--rounds", type=int, default=30)
+    run.add_argument("--local-steps", type=int, default=5)
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--sample-ratio", type=float, default=1.0)
+    run.add_argument("--lr", type=float, default=0.5)
+    run.add_argument("--optimizer", default="sgd")
+    run.add_argument("--lam", type=float, default=1e-3,
+                     help="regularization weight (rFedAvg variants)")
+    run.add_argument("--mu", type=float, default=1.0, help="FedProx proximal weight")
+    run.add_argument("--q", type=float, default=1.0, help="q-FedAvg fairness exponent")
+    run.add_argument("--scale", type=float, default=1.0, help="model width multiplier")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--eval-every", type=int, default=5)
+
+    sweep = sub.add_parser("sweep", help="sweep one hyperparameter")
+    sweep.add_argument("--dataset", choices=("synth_mnist", "synth_cifar"),
+                       default="synth_cifar")
+    sweep.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="rfedavg+")
+    sweep.add_argument("--knob", required=True,
+                       help="'lam' | 'mu' | 'q' (algorithm) or an FLConfig "
+                            "field like 'local_steps' / 'sample_ratio'")
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated values, e.g. 0,0.001,0.1")
+    sweep.add_argument("--clients", type=int, default=10)
+    sweep.add_argument("--similarity", type=float, default=0.0)
+    sweep.add_argument("--rounds", type=int, default=30)
+    sweep.add_argument("--repeats", type=int, default=1)
+    sweep.add_argument("--lr", type=float, default=0.5)
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list algorithms and datasets")
+    sub.add_parser("experiments", help="list the paper experiment index")
+    return parser
+
+
+def _build_federation(args):
+    if args.dataset in ("synth_mnist", "synth_cifar"):
+        similarity = 1.0 if args.iid else args.similarity
+        return build_image_federation(
+            args.dataset, num_clients=args.clients, similarity=similarity,
+            seed=args.seed,
+        )
+    if args.dataset == "synth_sent140":
+        return build_sent140_federation(
+            num_users=args.clients, iid=args.iid, seed=args.seed
+        )
+    return build_femnist_federation(
+        num_writers=args.clients, iid=args.iid, seed=args.seed
+    )
+
+
+def _algorithm_kwargs(args) -> dict:
+    name = args.algorithm
+    if name in ("rfedavg", "rfedavg+", "rfedavg_exact"):
+        return {"lam": args.lam}
+    if name == "fedprox":
+        return {"mu": args.mu}
+    if name == "qfedavg":
+        return {"q": args.q}
+    return {}
+
+
+def _command_run(args) -> int:
+    fed = _build_federation(args)
+    model_name = args.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
+    config = FLConfig(
+        rounds=args.rounds,
+        local_steps=args.local_steps,
+        batch_size=args.batch_size,
+        sample_ratio=args.sample_ratio,
+        optimizer=args.optimizer,
+        lr=args.lr,
+        eval_every=args.eval_every,
+        seed=args.seed,
+    )
+    algorithm = make_algorithm(args.algorithm, **_algorithm_kwargs(args))
+    print(
+        f"{args.algorithm} on {args.dataset}: {fed.num_clients} clients, "
+        f"{config.rounds} rounds, E={config.local_steps}, SR={config.sample_ratio}"
+    )
+    history = run_federated(
+        algorithm,
+        fed,
+        default_model_fn(model_name, fed.spec, seed=args.seed, scale=args.scale),
+        config,
+        progress=lambda rec: (
+            print(
+                f"round {rec.round_idx:4d}  loss {rec.train_loss:.4f}"
+                + (
+                    f"  acc {rec.test_accuracy:.4f}"
+                    if rec.test_accuracy is not None
+                    else ""
+                )
+            )
+        ),
+    )
+    print(f"final accuracy: {history.final_accuracy:.4f}")
+    print(f"total traffic:  {history.total_bytes():,} bytes")
+    return 0
+
+
+def _parse_values(raw: str) -> list:
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            number = float(token)
+        except ValueError as exc:
+            raise SystemExit(f"cannot parse sweep value {token!r}") from exc
+        values.append(int(number) if number.is_integer() and "." not in token and "e" not in token.lower() else number)
+    return values
+
+
+def _command_sweep(args) -> int:
+    from dataclasses import fields
+
+    from repro.experiments import build_image_federation
+    from repro.experiments.sweeps import sweep_algorithm_param, sweep_config_field
+
+    values = _parse_values(args.values)
+
+    def fed_builder(seed):
+        return build_image_federation(
+            args.dataset, num_clients=args.clients, similarity=args.similarity,
+            seed=seed,
+        )
+
+    def model_fn_builder(fed, seed):
+        return default_model_fn("mlp", fed.spec, seed=seed, scale=args.scale)
+
+    config = FLConfig(rounds=args.rounds, local_steps=5, batch_size=32,
+                      lr=args.lr, eval_every=5, seed=args.seed)
+    config_fields = {f.name for f in fields(FLConfig)}
+    if args.knob in config_fields:
+        result = sweep_config_field(
+            args.algorithm, args.knob, values, fed_builder, model_fn_builder,
+            config, repeats=args.repeats,
+        )
+    else:
+        result = sweep_algorithm_param(
+            args.algorithm, args.knob, values, fed_builder, model_fn_builder,
+            config, repeats=args.repeats,
+        )
+    print(result.as_table())
+    best_value, best_acc = result.best()
+    print(f"best: {args.knob}={best_value} (accuracy {best_acc:.4f})")
+    return 0
+
+
+def _command_list() -> int:
+    print("algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    print("datasets:")
+    for name in DATASETS:
+        print(f"  {name}")
+    return 0
+
+
+def _command_experiments() -> int:
+    for spec in EXPERIMENTS.values():
+        print(f"{spec.exp_id:10s} {spec.paper_ref:16s} {spec.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "list":
+        return _command_list()
+    return _command_experiments()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

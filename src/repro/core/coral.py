@@ -1,0 +1,39 @@
+"""CORAL — an alternative domain-adaptation discrepancy (Sun et al. 2016).
+
+The paper picks MMD "as a proof-of-concept" for the distribution
+regularizer and frames the idea as general domain adaptation; CORAL
+(CORrelation ALignment) is the other canonical shallow DA distance — it
+matches second-order statistics (covariances) instead of means.  The
+library provides it both as a measurement (for the ablation comparing
+what each distance sees) and as an alternative regularizer target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _covariance(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or features.shape[0] < 2:
+        raise DataError("covariance needs a (n >= 2, d) matrix")
+    centered = features - features.mean(axis=0)
+    return centered.T @ centered / (features.shape[0] - 1)
+
+
+def coral_distance(x_features: np.ndarray, y_features: np.ndarray) -> float:
+    """Squared Frobenius distance between feature covariances / (4 d^2)."""
+    cov_x = _covariance(x_features)
+    cov_y = _covariance(y_features)
+    d = cov_x.shape[0]
+    return float(((cov_x - cov_y) ** 2).sum() / (4.0 * d * d))
+
+
+def mean_and_coral_distance(
+    x_features: np.ndarray, y_features: np.ndarray, coral_weight: float = 1.0
+) -> float:
+    """First + second order discrepancy: ||mean gap||^2 + w * CORAL."""
+    gap = np.asarray(x_features).mean(axis=0) - np.asarray(y_features).mean(axis=0)
+    return float(gap @ gap) + coral_weight * coral_distance(x_features, y_features)

@@ -1,0 +1,123 @@
+"""Per-client mean-embedding tables (the ``delta`` payloads).
+
+Both algorithms exchange mean embeddings ``delta^k = (1/n_k) sum_j
+phi(x_{k,j})``.  :class:`DeltaTable` is the server-side store: it tracks
+which clients have reported at least once (so the regularizer can stay
+inactive until real statistics exist), computes the leave-one-out
+averages rFedAvg+ broadcasts, and accounts payload sizes for Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+
+class DeltaTable:
+    """Server-side store of per-client delta vectors.
+
+    Attributes:
+        dim: embedding dimension d.
+        num_clients: number of clients N.
+        dtype_bytes: bytes per scalar on the wire (the paper reports
+            float32 payloads; our simulator trains in float64 but the
+            wire format is configurable).
+    """
+
+    def __init__(self, num_clients: int, dim: int, dtype_bytes: int = 4) -> None:
+        if num_clients <= 0 or dim <= 0:
+            raise ProtocolError("num_clients and dim must be positive")
+        self.num_clients = num_clients
+        self.dim = dim
+        self.dtype_bytes = dtype_bytes
+        self._table = np.zeros((num_clients, dim), dtype=np.float64)
+        self._reported = np.zeros(num_clients, dtype=bool)
+
+    # -- updates ---------------------------------------------------------------
+    def update(self, client: int, delta: np.ndarray) -> None:
+        """Store client's freshly computed mean embedding."""
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.shape != (self.dim,):
+            raise ProtocolError(f"delta shape {delta.shape} != ({self.dim},)")
+        self._table[client] = delta
+        self._reported[client] = True
+
+    # -- reads -----------------------------------------------------------------
+    @property
+    def reported_mask(self) -> np.ndarray:
+        """Boolean mask of clients that have reported at least once."""
+        return self._reported.copy()
+
+    @property
+    def any_reported(self) -> bool:
+        return bool(self._reported.any())
+
+    @property
+    def all_reported(self) -> bool:
+        return bool(self._reported.all())
+
+    def get(self, client: int) -> np.ndarray:
+        return self._table[client].copy()
+
+    def full_table(self) -> np.ndarray:
+        """The full (N, d) table — what rFedAvg broadcasts to every client."""
+        return self._table.copy()
+
+    def mean_of_others(self, client: int) -> np.ndarray:
+        """Leave-one-out average over *reported* clients other than ``client``.
+
+        This is ``delta^{-k}`` in Algorithm 2.  Falls back to the global
+        reported mean when only the client itself has reported, and to
+        zeros when nobody has (callers should gate on
+        :attr:`any_reported` anyway).
+        """
+        mask = self._reported.copy()
+        mask[client] = False
+        if not mask.any():
+            if self._reported[client]:
+                return self._table[client].copy()
+            return np.zeros(self.dim)
+        return self._table[mask].mean(axis=0)
+
+    def pairwise_mean_sq_distance(self, client: int) -> float:
+        """r_k = (1/(N-1)) sum_{j != k} ||delta^k - delta^j||^2 over reported js."""
+        mask = self._reported.copy()
+        mask[client] = False
+        if not mask.any():
+            return 0.0
+        gaps = self._table[mask] - self._table[client]
+        return float((gaps * gaps).sum(axis=1).mean())
+
+    def delta_inconsistency(self) -> float:
+        """Mean distance of reported deltas to their common mean.
+
+        Diagnostic for the rFedAvg drawback the paper calls "inconsistent
+        calculation of mappings": deltas computed from divergent local
+        models scatter more widely than deltas computed from one global
+        model.
+        """
+        if not self._reported.any():
+            return 0.0
+        reported = self._table[self._reported]
+        center = reported.mean(axis=0)
+        return float(np.linalg.norm(reported - center, axis=1).mean())
+
+    # -- payload accounting (Table III) -----------------------------------------
+    def broadcast_bytes_rfedavg(self) -> int:
+        """Per-round broadcast: every client gets the full table (N*d each)."""
+        return self.num_clients * self.num_clients * self.dim * self.dtype_bytes
+
+    def broadcast_bytes_rfedavg_plus(self) -> int:
+        """Per-round broadcast: every client gets only its own delta^{-k}."""
+        return self.num_clients * self.dim * self.dtype_bytes
+
+    def upload_bytes(self) -> int:
+        """Per-round upload: every client sends its own delta (both algs)."""
+        return self.num_clients * self.dim * self.dtype_bytes
+
+    def per_client_state_bytes(self, plus: bool) -> int:
+        """Size of the delta state one client must hold (Table III rows)."""
+        if plus:
+            return self.dim * self.dtype_bytes
+        return self.num_clients * self.dim * self.dtype_bytes

@@ -1,0 +1,102 @@
+"""Disk caching for generated datasets.
+
+The synthetic generators are deterministic but not free (glyph rendering
+is per-sample Python); callers that rebuild the same corpus repeatedly —
+the benchmark suite, notebook-style exploration — can wrap any generator
+in :func:`cached_dataset` to persist the arrays as ``.npz`` keyed by the
+generator's arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DatasetSpec
+from repro.exceptions import DataError
+
+
+def _cache_key(name: str, params: dict) -> str:
+    """Stable filename for a (generator, arguments) pair."""
+    payload = json.dumps({"name": name, "params": params}, sort_keys=True, default=str)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return f"{name}-{digest}.npz"
+
+
+def cached_dataset(
+    cache_dir: str,
+    name: str,
+    params: dict,
+    generator: Callable[[], tuple[DatasetSpec, ArrayDataset, ArrayDataset]],
+) -> tuple[DatasetSpec, ArrayDataset, ArrayDataset]:
+    """Load (spec, train, test) from cache, generating on a miss.
+
+    Args:
+        cache_dir: directory for ``.npz`` files (created if missing).
+        name: generator identity (part of the cache key).
+        params: the generator's arguments (part of the cache key).
+        generator: zero-arg callable producing (spec, train, test).
+    """
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, _cache_key(name, params))
+    if os.path.exists(path):
+        return _load(path)
+    spec, train, test = generator()
+    _save(path, spec, train, test)
+    return spec, train, test
+
+
+def _save(path: str, spec: DatasetSpec, train: ArrayDataset, test: ArrayDataset) -> None:
+    np.savez_compressed(
+        path,
+        train_x=train.x,
+        train_y=train.y,
+        test_x=test.x,
+        test_y=test.y,
+        spec=json.dumps(
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "input_shape": list(spec.input_shape),
+                "num_classes": spec.num_classes,
+                "vocab_size": spec.vocab_size,
+            }
+        ),
+    )
+
+
+def _load(path: str) -> tuple[DatasetSpec, ArrayDataset, ArrayDataset]:
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["spec"]))
+            spec = DatasetSpec(
+                name=meta["name"],
+                kind=meta["kind"],
+                input_shape=tuple(meta["input_shape"]),
+                num_classes=meta["num_classes"],
+                vocab_size=meta["vocab_size"],
+            )
+            train = ArrayDataset(data["train_x"], data["train_y"])
+            test = ArrayDataset(data["test_x"], data["test_y"])
+            return spec, train, test
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise DataError(f"corrupt dataset cache file {path}: {exc}") from exc
+
+
+def clear_cache(cache_dir: str, name: str | None = None) -> int:
+    """Delete cached datasets; returns the number of files removed."""
+    if not os.path.isdir(cache_dir):
+        return 0
+    removed = 0
+    for filename in os.listdir(cache_dir):
+        if not filename.endswith(".npz"):
+            continue
+        if name is not None and not filename.startswith(f"{name}-"):
+            continue
+        os.remove(os.path.join(cache_dir, filename))
+        removed += 1
+    return removed

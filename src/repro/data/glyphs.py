@@ -1,0 +1,163 @@
+"""A tiny bitmap glyph font and a procedural glyph renderer.
+
+This is the image-generation engine behind the synthetic MNIST and
+FEMNIST stand-ins: each sample is a 5x7 glyph pasted onto a canvas with
+randomized shift, shear (slant), thickness (dilation) and pixel noise.
+Per-*sample* randomization gives MNIST-like intra-class variation;
+per-*writer* randomization (fixing the style parameters per writer)
+gives FEMNIST-like feature-distribution skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+_FONT_ROWS = {
+    "0": ["01110", "10001", "10011", "10101", "11001", "10001", "01110"],
+    "1": ["00100", "01100", "00100", "00100", "00100", "00100", "01110"],
+    "2": ["01110", "10001", "00001", "00110", "01000", "10000", "11111"],
+    "3": ["11111", "00010", "00100", "00010", "00001", "10001", "01110"],
+    "4": ["00010", "00110", "01010", "10010", "11111", "00010", "00010"],
+    "5": ["11111", "10000", "11110", "00001", "00001", "10001", "01110"],
+    "6": ["00110", "01000", "10000", "11110", "10001", "10001", "01110"],
+    "7": ["11111", "00001", "00010", "00100", "01000", "01000", "01000"],
+    "8": ["01110", "10001", "10001", "01110", "10001", "10001", "01110"],
+    "9": ["01110", "10001", "10001", "01111", "00001", "00010", "01100"],
+    "A": ["01110", "10001", "10001", "11111", "10001", "10001", "10001"],
+    "B": ["11110", "10001", "10001", "11110", "10001", "10001", "11110"],
+    "C": ["01110", "10001", "10000", "10000", "10000", "10001", "01110"],
+    "D": ["11100", "10010", "10001", "10001", "10001", "10010", "11100"],
+    "E": ["11111", "10000", "10000", "11110", "10000", "10000", "11111"],
+    "F": ["11111", "10000", "10000", "11110", "10000", "10000", "10000"],
+    "G": ["01110", "10001", "10000", "10111", "10001", "10001", "01111"],
+    "H": ["10001", "10001", "10001", "11111", "10001", "10001", "10001"],
+    "I": ["01110", "00100", "00100", "00100", "00100", "00100", "01110"],
+    "J": ["00111", "00010", "00010", "00010", "00010", "10010", "01100"],
+    "K": ["10001", "10010", "10100", "11000", "10100", "10010", "10001"],
+    "L": ["10000", "10000", "10000", "10000", "10000", "10000", "11111"],
+    "M": ["10001", "11011", "10101", "10101", "10001", "10001", "10001"],
+    "N": ["10001", "10001", "11001", "10101", "10011", "10001", "10001"],
+    "O": ["01110", "10001", "10001", "10001", "10001", "10001", "01110"],
+    "P": ["11110", "10001", "10001", "11110", "10000", "10000", "10000"],
+    "Q": ["01110", "10001", "10001", "10001", "10101", "10010", "01101"],
+    "R": ["11110", "10001", "10001", "11110", "10100", "10010", "10001"],
+    "S": ["01111", "10000", "10000", "01110", "00001", "00001", "11110"],
+    "T": ["11111", "00100", "00100", "00100", "00100", "00100", "00100"],
+    "U": ["10001", "10001", "10001", "10001", "10001", "10001", "01110"],
+    "V": ["10001", "10001", "10001", "10001", "10001", "01010", "00100"],
+    "W": ["10001", "10001", "10001", "10101", "10101", "10101", "01010"],
+    "X": ["10001", "10001", "01010", "00100", "01010", "10001", "10001"],
+    "Y": ["10001", "10001", "01010", "00100", "00100", "00100", "00100"],
+    "Z": ["11111", "00001", "00010", "00100", "01000", "10000", "11111"],
+}
+
+GLYPH_SET = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def glyph_bitmap(char: str) -> np.ndarray:
+    """Return the 7x5 float bitmap for a supported character."""
+    if char not in _FONT_ROWS:
+        raise DataError(f"no glyph for {char!r}")
+    rows = _FONT_ROWS[char]
+    return np.array([[float(c) for c in row] for row in rows])
+
+
+@dataclass(frozen=True)
+class GlyphStyle:
+    """Rendering style knobs; fixed per writer for FEMNIST-like skew.
+
+    Attributes:
+        shear: horizontal slant in pixels per row (negative = left).
+        thickness: 0 = thin strokes, 1 = dilated strokes.
+        scale: integer upscale factor of the 5x7 bitmap.
+        intensity: stroke brightness in (0, 1].
+        noise: per-pixel Gaussian noise sigma.
+    """
+
+    shear: float = 0.0
+    thickness: int = 0
+    scale: int = 1
+    intensity: float = 1.0
+    noise: float = 0.1
+
+
+def _dilate(bitmap: np.ndarray) -> np.ndarray:
+    """4-neighborhood binary dilation (stroke thickening)."""
+    padded = np.pad(bitmap, 1)
+    out = (
+        padded[1:-1, 1:-1]
+        + padded[:-2, 1:-1]
+        + padded[2:, 1:-1]
+        + padded[1:-1, :-2]
+        + padded[1:-1, 2:]
+    )
+    return (out > 0).astype(np.float64)
+
+
+def _shear_rows(img: np.ndarray, shear: float) -> np.ndarray:
+    """Shift each row horizontally by round(shear * row_index)."""
+    out = np.zeros_like(img)
+    for row in range(img.shape[0]):
+        shift = int(round(shear * row))
+        out[row] = np.roll(img[row], shift)
+        if shift > 0:
+            out[row, :shift] = 0.0
+        elif shift < 0:
+            out[row, shift:] = 0.0
+    return out
+
+
+def render_glyph(
+    char: str,
+    canvas_size: int,
+    style: GlyphStyle,
+    rng: np.random.Generator,
+    jitter: int = 1,
+) -> np.ndarray:
+    """Render one noisy glyph sample onto a (canvas_size, canvas_size) canvas.
+
+    The glyph is scaled, thickened, sheared, placed with a random
+    ``jitter``-pixel offset around the center, then corrupted with
+    Gaussian pixel noise.  Output values are clipped to [0, 1].
+    """
+    bitmap = glyph_bitmap(char)
+    for _ in range(style.thickness):
+        bitmap = _dilate(bitmap)
+    if style.scale > 1:
+        bitmap = np.kron(bitmap, np.ones((style.scale, style.scale)))
+    if style.shear:
+        bitmap = _shear_rows(bitmap, style.shear)
+    glyph_h, glyph_w = bitmap.shape
+    if glyph_h > canvas_size or glyph_w > canvas_size:
+        raise DataError(
+            f"glyph {glyph_h}x{glyph_w} does not fit canvas {canvas_size}"
+        )
+    canvas = np.zeros((canvas_size, canvas_size))
+    top0 = (canvas_size - glyph_h) // 2
+    left0 = (canvas_size - glyph_w) // 2
+    top = int(np.clip(top0 + rng.integers(-jitter, jitter + 1), 0, canvas_size - glyph_h))
+    left = int(np.clip(left0 + rng.integers(-jitter, jitter + 1), 0, canvas_size - glyph_w))
+    canvas[top : top + glyph_h, left : left + glyph_w] = bitmap * style.intensity
+    canvas += rng.normal(0.0, style.noise, size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def random_style(
+    rng: np.random.Generator,
+    canvas_size: int,
+    noise: float = 0.1,
+) -> GlyphStyle:
+    """Draw a random writer style that is guaranteed to fit the canvas."""
+    max_scale = max(1, min((canvas_size - 2) // 7, (canvas_size - 2) // 5))
+    scale = int(rng.integers(1, max_scale + 1))
+    return GlyphStyle(
+        shear=float(rng.uniform(-0.4, 0.4)),
+        thickness=int(rng.integers(0, 2)),
+        scale=scale,
+        intensity=float(rng.uniform(0.7, 1.0)),
+        noise=noise,
+    )

@@ -1,0 +1,184 @@
+"""Client partitioning strategies.
+
+The paper's main split (following Karimireddy et al. / SCAFFOLD) is the
+*similarity* split: ``s%`` of the data is allocated IID, the remaining
+``(100 - s)%`` is sorted by label and dealt to clients in contiguous
+shards.  ``s = 0`` is fully non-IID (each client sees few labels),
+``s = 100`` is IID.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _even_chunks(indices: np.ndarray, num_clients: int) -> list[np.ndarray]:
+    """Deal ``indices`` into ``num_clients`` near-equal contiguous chunks."""
+    return [chunk for chunk in np.array_split(indices, num_clients)]
+
+
+def iid_partition(
+    num_samples: int, num_clients: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Uniformly random even split."""
+    if num_clients <= 0:
+        raise DataError("num_clients must be positive")
+    if num_samples < num_clients:
+        raise DataError(f"{num_samples} samples cannot cover {num_clients} clients")
+    order = rng.permutation(num_samples)
+    return _even_chunks(order, num_clients)
+
+
+def similarity_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    similarity: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """The paper's s% similarity split.
+
+    Args:
+        labels: integer label array for the full training set.
+        num_clients: number of clients N.
+        similarity: s in [0, 1]; fraction of data allocated IID.
+        rng: source of randomness.
+
+    Returns:
+        One index array per client.  Every client is guaranteed at least
+        one sample.
+    """
+    if not 0.0 <= similarity <= 1.0:
+        raise DataError(f"similarity must be in [0, 1], got {similarity}")
+    labels = np.asarray(labels)
+    num_samples = len(labels)
+    if num_samples < num_clients:
+        raise DataError(f"{num_samples} samples cannot cover {num_clients} clients")
+
+    order = rng.permutation(num_samples)
+    num_iid = int(round(similarity * num_samples))
+    iid_part, skew_part = order[:num_iid], order[num_iid:]
+
+    parts = [list(chunk) for chunk in _even_chunks(iid_part, num_clients)]
+
+    # Sort the remainder by label (ties broken randomly via the
+    # pre-shuffle) and deal contiguous shards to clients.
+    skew_sorted = skew_part[np.argsort(labels[skew_part], kind="stable")]
+    for client, chunk in enumerate(_even_chunks(skew_sorted, num_clients)):
+        parts[client].extend(chunk)
+
+    result = [np.array(sorted(p), dtype=np.int64) for p in parts]
+    _fill_empty(result, rng)
+    return result
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Dirichlet(alpha) label-skew split (Hsu et al. 2019 convention).
+
+    For each class, the class's samples are distributed across clients
+    according to a Dirichlet(alpha) draw.  Small alpha = extreme skew.
+    """
+    if alpha <= 0:
+        raise DataError(f"alpha must be positive, got {alpha}")
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1
+    parts: list[list[int]] = [[] for _ in range(num_clients)]
+    for cls in range(num_classes):
+        cls_idx = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_idx)
+        proportions = rng.dirichlet(alpha * np.ones(num_clients))
+        cuts = (np.cumsum(proportions)[:-1] * len(cls_idx)).astype(int)
+        for client, chunk in enumerate(np.split(cls_idx, cuts)):
+            parts[client].extend(chunk)
+    result = [np.array(sorted(p), dtype=np.int64) for p in parts]
+    _fill_empty(result, rng)
+    return result
+
+
+def quantity_skew_sizes(
+    num_samples: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    sigma: float = 1.0,
+    min_size: int = 2,
+) -> np.ndarray:
+    """Lognormal client sizes summing to ``num_samples`` (quantity skew).
+
+    FEMNIST-style: a few prolific writers, many sparse ones.
+    """
+    if num_samples < num_clients * min_size:
+        raise DataError(
+            f"{num_samples} samples cannot give {num_clients} clients >= {min_size} each"
+        )
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=num_clients)
+    sizes = np.maximum(min_size, (raw / raw.sum() * num_samples).astype(int))
+    # Fix rounding drift while respecting the minimum size.
+    drift = int(num_samples - sizes.sum())
+    order = np.argsort(-sizes)  # adjust the largest clients first
+    i = 0
+    while drift != 0:
+        k = order[i % num_clients]
+        step = 1 if drift > 0 else -1
+        if sizes[k] + step >= min_size:
+            sizes[k] += step
+            drift -= step
+        i += 1
+    return sizes
+
+
+def shard_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    shards_per_client: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """McMahan et al.'s original pathological split.
+
+    Sort by label, cut into ``num_clients * shards_per_client`` equal
+    shards, deal ``shards_per_client`` random shards to each client.
+    With 2 shards per client on a 10-class dataset, most clients see
+    only 2 labels — the classic "pathological non-IID" benchmark.
+    """
+    if shards_per_client <= 0:
+        raise DataError("shards_per_client must be positive")
+    labels = np.asarray(labels)
+    num_samples = len(labels)
+    total_shards = num_clients * shards_per_client
+    if num_samples < total_shards:
+        raise DataError(
+            f"{num_samples} samples cannot fill {total_shards} shards"
+        )
+    order = rng.permutation(num_samples)  # random tie-breaking
+    by_label = order[np.argsort(labels[order], kind="stable")]
+    shards = np.array_split(by_label, total_shards)
+    shard_order = rng.permutation(total_shards)
+    parts = []
+    for client in range(num_clients):
+        mine = shard_order[client * shards_per_client : (client + 1) * shards_per_client]
+        parts.append(np.sort(np.concatenate([shards[s] for s in mine])))
+    return parts
+
+
+def by_user_partition(user_ids: np.ndarray) -> list[np.ndarray]:
+    """Natural partition: one client per distinct user id."""
+    user_ids = np.asarray(user_ids)
+    users = np.unique(user_ids)
+    return [np.flatnonzero(user_ids == u).astype(np.int64) for u in users]
+
+
+def _fill_empty(parts: list[np.ndarray], rng: np.random.Generator) -> None:
+    """Move one sample from the largest client into any empty client."""
+    for i, part in enumerate(parts):
+        if len(part) == 0:
+            donor = max(range(len(parts)), key=lambda j: len(parts[j]))
+            if len(parts[donor]) <= 1:
+                raise DataError("not enough samples to cover all clients")
+            take = rng.integers(0, len(parts[donor]))
+            parts[i] = parts[donor][take : take + 1]
+            parts[donor] = np.delete(parts[donor], take)

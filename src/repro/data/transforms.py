@@ -1,0 +1,180 @@
+"""Input transforms / augmentations for image datasets.
+
+Client-side augmentation is standard practice in FL image pipelines;
+these numpy transforms compose into a :class:`Pipeline` that can be
+applied to an :class:`~repro.data.dataset.ArrayDataset` (eagerly, so the
+training loop stays allocation-free) or per-batch.
+
+All transforms accept and return (N, C, H, W) arrays and take an
+explicit rng for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.exceptions import DataError
+
+
+class Transform:
+    """Interface: map an (N, C, H, W) batch to a same-shape batch."""
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RandomShift(Transform):
+    """Shift each image by up to ``max_pixels`` in each spatial axis."""
+
+    def __init__(self, max_pixels: int = 1) -> None:
+        if max_pixels < 0:
+            raise DataError("max_pixels must be non-negative")
+        self.max_pixels = max_pixels
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty_like(images)
+        m = self.max_pixels
+        for i, img in enumerate(images):
+            dy, dx = rng.integers(-m, m + 1, size=2)
+            shifted = np.roll(img, (int(dy), int(dx)), axis=(1, 2))
+            if dy > 0:
+                shifted[:, :dy, :] = 0.0
+            elif dy < 0:
+                shifted[:, dy:, :] = 0.0
+            if dx > 0:
+                shifted[:, :, :dx] = 0.0
+            elif dx < 0:
+                shifted[:, :, dx:] = 0.0
+            out[i] = shifted
+        return out
+
+
+class HorizontalFlip(Transform):
+    """Flip each image left-right with probability ``prob``."""
+
+    def __init__(self, prob: float = 0.5) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise DataError("prob must be in [0, 1]")
+        self.prob = prob
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(len(images)) < self.prob
+        out = images.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class GaussianNoise(Transform):
+    """Additive pixel noise, clipped back to [0, 1]."""
+
+    def __init__(self, sigma: float = 0.05) -> None:
+        if sigma < 0:
+            raise DataError("sigma must be non-negative")
+        self.sigma = sigma
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return images.copy()
+        noisy = images + rng.normal(0.0, self.sigma, size=images.shape)
+        return np.clip(noisy, 0.0, 1.0)
+
+
+class Cutout(Transform):
+    """Zero a random square patch of side ``size`` per image."""
+
+    def __init__(self, size: int = 3) -> None:
+        if size <= 0:
+            raise DataError("size must be positive")
+        self.size = size
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        _n, _c, height, width = images.shape
+        if self.size > min(height, width):
+            raise DataError("cutout larger than image")
+        out = images.copy()
+        for img in out:
+            top = int(rng.integers(0, height - self.size + 1))
+            left = int(rng.integers(0, width - self.size + 1))
+            img[:, top : top + self.size, left : left + self.size] = 0.0
+        return out
+
+
+class Pipeline(Transform):
+    """Apply transforms in order."""
+
+    def __init__(self, *transforms: Transform) -> None:
+        self.transforms = list(transforms)
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform.apply(images, rng)
+        return images
+
+
+class BrightnessScale(Transform):
+    """Multiply pixel intensities by a fixed factor (clipped to [0, 1])."""
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise DataError("factor must be positive")
+        self.factor = factor
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(images * self.factor, 0.0, 1.0)
+
+
+class FixedShift(Transform):
+    """Shift every image by the same (dy, dx) offset — a client 'camera
+    misalignment' style."""
+
+    def __init__(self, dy: int, dx: int) -> None:
+        self.dy = dy
+        self.dx = dx
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.roll(images, (self.dy, self.dx), axis=(2, 3))
+        if self.dy > 0:
+            out[:, :, : self.dy, :] = 0.0
+        elif self.dy < 0:
+            out[:, :, self.dy :, :] = 0.0
+        if self.dx > 0:
+            out[:, :, :, : self.dx] = 0.0
+        elif self.dx < 0:
+            out[:, :, :, self.dx :] = 0.0
+        return out
+
+
+def client_style_pipeline(
+    client_id: int, strength: float = 1.0, base_seed: int = 0
+) -> Pipeline:
+    """A deterministic per-client input style (feature-skew non-IIDness).
+
+    Each client gets its own fixed brightness, shift and noise level —
+    the "same physical- and device-dependent context" per client that
+    the paper's Sec. III-B assumes.  ``strength`` in [0, ~2] scales how
+    far styles diverge; 0 returns an identity-ish pipeline.
+    """
+    if strength < 0:
+        raise DataError("strength must be non-negative")
+    rng = np.random.default_rng([base_seed, 0x57F1E, client_id])
+    factor = float(np.exp(rng.uniform(-0.5, 0.5) * strength))
+    max_shift = int(round(2 * strength))
+    dy = int(rng.integers(-max_shift, max_shift + 1)) if max_shift else 0
+    dx = int(rng.integers(-max_shift, max_shift + 1)) if max_shift else 0
+    sigma = float(rng.uniform(0.0, 0.08) * strength)
+    return Pipeline(BrightnessScale(factor), FixedShift(dy, dx), GaussianNoise(sigma))
+
+
+def augment_dataset(
+    dataset: ArrayDataset, pipeline: Transform, rng: np.random.Generator, copies: int = 1
+) -> ArrayDataset:
+    """Return ``dataset`` plus ``copies`` augmented replicas of it."""
+    if copies < 1:
+        raise DataError("copies must be >= 1")
+    xs = [dataset.x]
+    ys = [dataset.y]
+    for _ in range(copies):
+        xs.append(pipeline.apply(dataset.x, rng))
+        ys.append(dataset.y)
+    return ArrayDataset(np.concatenate(xs), np.concatenate(ys))

@@ -1,0 +1,17 @@
+"""Library-specific exception types."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """An experiment or algorithm configuration is invalid."""
+
+
+class DataError(ReproError):
+    """A dataset or partition is malformed."""
+
+
+class ProtocolError(ReproError):
+    """A federated protocol invariant was violated (e.g. payload shape)."""

@@ -1,0 +1,46 @@
+"""Experiment presets, the table/figure registry, and the runner."""
+
+from repro.experiments.presets import (
+    build_image_federation,
+    build_sent140_federation,
+    build_femnist_federation,
+    build_feature_skew_federation,
+    default_model_fn,
+    cross_silo_config,
+    cross_device_config,
+)
+from repro.experiments.runner import run_experiment, compare_algorithms, RunResult
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from repro.experiments.report import format_accuracy_table, format_curve, format_rounds_table
+from repro.experiments.robustness import RobustComparison, compare_with_significance
+from repro.experiments.sweeps import (
+    SweepResult,
+    sweep_algorithm_param,
+    sweep_config_field,
+    sweep_federation,
+)
+
+__all__ = [
+    "build_image_federation",
+    "build_sent140_federation",
+    "build_femnist_federation",
+    "build_feature_skew_federation",
+    "default_model_fn",
+    "cross_silo_config",
+    "cross_device_config",
+    "run_experiment",
+    "compare_algorithms",
+    "RunResult",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "format_accuracy_table",
+    "format_curve",
+    "format_rounds_table",
+    "SweepResult",
+    "sweep_algorithm_param",
+    "sweep_config_field",
+    "sweep_federation",
+    "RobustComparison",
+    "compare_with_significance",
+]

@@ -1,0 +1,238 @@
+"""Registry mapping every paper table/figure to a runnable spec.
+
+Each :class:`ExperimentSpec` records what the paper measured, the
+workload parameters of our scaled reproduction, and which benchmark file
+regenerates it.  ``python -m repro.experiments.registry`` prints the
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible paper result."""
+
+    exp_id: str  # e.g. 'table1', 'fig9a'
+    paper_ref: str  # e.g. 'Table I'
+    description: str
+    workload: str
+    parameters: dict = field(default_factory=dict)
+    modules: tuple[str, ...] = ()
+    bench: str = ""
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec
+    for spec in [
+        ExperimentSpec(
+            "fig1",
+            "Fig. 1",
+            "t-SNE of FedAvg last-FC features, IID vs non-IID clients",
+            "synth_cifar, 8 clients, sim in {0%, 100%}",
+            {"clients": 8, "similarity": [0.0, 1.0]},
+            ("repro.analysis.tsne", "repro.algorithms.fedavg"),
+            "benchmarks/test_fig1_tsne.py",
+        ),
+        ExperimentSpec(
+            "fig2_3",
+            "Fig. 2 / Fig. 3",
+            "MNIST accuracy and loss curves, 6 algorithms",
+            "synth_mnist, cross-silo & cross-device, sim in {0%, 10%}",
+            {"rounds": "scaled", "algorithms": 6},
+            ("repro.experiments.runner",),
+            "benchmarks/test_fig2_3_mnist_curves.py",
+        ),
+        ExperimentSpec(
+            "fig4_5",
+            "Fig. 4 / Fig. 5",
+            "CIFAR10 accuracy and loss curves",
+            "synth_cifar, cross-silo & cross-device, sim in {0%, 10%}",
+            {},
+            ("repro.experiments.runner",),
+            "benchmarks/test_fig4_5_cifar_curves.py",
+        ),
+        ExperimentSpec(
+            "fig6_7",
+            "Fig. 6 / Fig. 7",
+            "Sent140 curves with LSTM + RMSProp",
+            "synth_sent140, natural non-IID vs IID",
+            {"optimizer": "rmsprop"},
+            ("repro.models.lstm",),
+            "benchmarks/test_fig6_7_sent140_curves.py",
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Fig. 8",
+            "FEMNIST curves, 100/500 clients, low/high cost",
+            "synth_femnist; low: SR=0.1,E=10; high: SR=0.2,E=20",
+            {"clients": [100, 500]},
+            ("repro.data.synth_femnist",),
+            "benchmarks/test_fig8_femnist.py",
+        ),
+        ExperimentSpec(
+            "fig9a",
+            "Fig. 9(a)",
+            "Impact of lambda on CIFAR10 sim 0%",
+            "lambda sweep around the paper's 1e-5",
+            {"lambda": [0.0, 1e-6, 1e-4, 1e-2, 1.0]},
+            ("repro.core.regularizer",),
+            "benchmarks/test_fig9_parameter_study.py",
+        ),
+        ExperimentSpec(
+            "fig9b",
+            "Fig. 9(b)",
+            "Impact of client count N",
+            "N sweep at fixed SR",
+            {"N": [5, 10, 20, 40]},
+            ("repro.experiments.runner",),
+            "benchmarks/test_fig9_parameter_study.py",
+        ),
+        ExperimentSpec(
+            "fig9c",
+            "Fig. 9(c)",
+            "Impact of local steps E at fixed rounds",
+            "E sweep",
+            {"E": [1, 2, 5, 10]},
+            ("repro.experiments.runner",),
+            "benchmarks/test_fig9_parameter_study.py",
+        ),
+        ExperimentSpec(
+            "fig9d",
+            "Fig. 9(d)",
+            "Impact of sample ratio SR",
+            "SR sweep",
+            {"SR": [0.1, 0.2, 0.5, 1.0]},
+            ("repro.fl.sampling",),
+            "benchmarks/test_fig9_parameter_study.py",
+        ),
+        ExperimentSpec(
+            "fig10ab",
+            "Fig. 10(a)/(b)",
+            "Minimal rounds to reach accuracy levels",
+            "synth_mnist / synth_cifar, cross-device non-IID",
+            {},
+            ("repro.fl.metrics",),
+            "benchmarks/test_fig10_efficiency.py",
+        ),
+        ExperimentSpec(
+            "fig10cd",
+            "Fig. 10(c)/(d)",
+            "Training time per round (rFedAvg vs rFedAvg+ vs FedAvg)",
+            "wall-clock per simulated round",
+            {},
+            ("repro.fl.metrics",),
+            "benchmarks/test_fig10_efficiency.py",
+        ),
+        ExperimentSpec(
+            "fig11",
+            "Fig. 11",
+            "Per-client fairness scatter (worst clients improve)",
+            "synth_mnist / synth_cifar, per-client accuracy",
+            {},
+            ("repro.analysis.fairness",),
+            "benchmarks/test_fig11_fairness.py",
+        ),
+        ExperimentSpec(
+            "fig12",
+            "Fig. 12",
+            "DP Gaussian noise on delta",
+            "sigma2 in {0, 1, 5, 10, 20}",
+            {"sigma2": [0, 1, 5, 10, 20]},
+            ("repro.core.privacy",),
+            "benchmarks/test_fig12_privacy.py",
+        ),
+        ExperimentSpec(
+            "table1",
+            "Table I",
+            "Cross-silo test accuracy, 3 datasets x 6 methods",
+            "N=20 (scaled), E=5, SR=1.0",
+            {"N": 20, "E": 5, "SR": 1.0},
+            ("repro.experiments.runner",),
+            "benchmarks/test_table1_cross_silo.py",
+        ),
+        ExperimentSpec(
+            "table2",
+            "Table II",
+            "Cross-device test accuracy",
+            "N=500 (scaled), E=10, SR=0.2",
+            {"N": 500, "E": 10, "SR": 0.2},
+            ("repro.experiments.runner",),
+            "benchmarks/test_table2_cross_device.py",
+        ),
+        ExperimentSpec(
+            "table3",
+            "Table III",
+            "Size of delta payload (bytes), CNN/RNN x silo/device",
+            "analytic payload model + measured ledger",
+            {},
+            ("repro.core.delta", "repro.fl.comm"),
+            "benchmarks/test_table3_delta_size.py",
+        ),
+        ExperimentSpec(
+            "theory",
+            "Thm. 1 / Thm. 2",
+            "O(1/T) convergence; C2 < C3 constant ordering",
+            "strongly convex logistic model, inverse-decay lr",
+            {},
+            ("repro.analysis.convergence",),
+            "benchmarks/test_convergence_theory.py",
+        ),
+        ExperimentSpec(
+            "ablation_reg",
+            "Sec. IV (design)",
+            "Delayed vs exact mapping; pairwise vs leave-one-out form; "
+            "linear vs RBF MMD reduction",
+            "synth_cifar Sim 0%, 8 clients",
+            {},
+            ("repro.algorithms.rfedavg_exact", "repro.core.mmd"),
+            "benchmarks/test_ablation_regularizer_form.py",
+        ),
+        ExperimentSpec(
+            "ablation_comm",
+            "Related work (extensions)",
+            "Compressed uploads; dropout robustness; byzantine limitation",
+            "synth_cifar/mnist Sim 0%, 10 clients",
+            {},
+            ("repro.fl.compression", "repro.fl.faults"),
+            "benchmarks/test_ablation_compression_robustness.py",
+        ),
+        ExperimentSpec(
+            "ext_async_hierarchy",
+            "Deployment regimes (extension)",
+            "Asynchronous staleness-weighted FL; hierarchical edge/cloud FL",
+            "synth_mnist Sim 0%, heterogeneous speeds / 2 edges",
+            {},
+            ("repro.fl.async_sim", "repro.fl.hierarchy"),
+            "benchmarks/test_extension_async_hierarchy.py",
+        ),
+        ExperimentSpec(
+            "ext_feature_skew",
+            "Ref. [32] (extension)",
+            "Feature-distribution skew: IID labels + per-client styles",
+            "synth_cifar, skew strength {0.5, 1.5}",
+            {"skew_strength": [0.5, 1.5]},
+            ("repro.data.transforms",),
+            "benchmarks/test_extension_feature_skew.py",
+        ),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[exp_id]
+
+
+def _main() -> None:  # pragma: no cover - CLI convenience
+    for spec in EXPERIMENTS.values():
+        print(f"{spec.exp_id:10s} {spec.paper_ref:16s} {spec.description}")
+        print(f"{'':10s} workload: {spec.workload}")
+        print(f"{'':10s} bench:    {spec.bench}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

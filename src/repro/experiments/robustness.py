@@ -1,0 +1,86 @@
+"""Seed-robust method comparison.
+
+FL accuracy differences are frequently within seed noise at small scale;
+this module runs two methods over matched seeds and decides — with a
+paired t-test and a bootstrap CI — whether the measured difference is
+statistically meaningful.  Used to back the EXPERIMENTS.md claims and
+available to users comparing their own configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.significance import ComparisonResult, bootstrap_ci, paired_comparison
+from repro.data.dataset import FederatedDataset
+from repro.exceptions import ConfigError
+from repro.experiments.runner import run_experiment
+from repro.fl.config import FLConfig
+from repro.models.split import SplitModel
+
+
+@dataclass
+class RobustComparison:
+    """Full output of a matched-seed A-vs-B comparison."""
+
+    name_a: str
+    name_b: str
+    accs_a: np.ndarray
+    accs_b: np.ndarray
+    stats: ComparisonResult
+    ci_a: tuple[float, float]
+    ci_b: tuple[float, float]
+
+    def summary(self) -> str:
+        verdict = "SIGNIFICANT" if self.stats.significant else "within seed noise"
+        return (
+            f"{self.name_a}: {100 * self.stats.mean_a:.2f}% "
+            f"(95% CI {100 * self.ci_a[0]:.2f}-{100 * self.ci_a[1]:.2f})\n"
+            f"{self.name_b}: {100 * self.stats.mean_b:.2f}% "
+            f"(95% CI {100 * self.ci_b[0]:.2f}-{100 * self.ci_b[1]:.2f})\n"
+            f"difference {100 * self.stats.difference:+.2f} pts, "
+            f"p={self.stats.p_value:.4f} -> {verdict}"
+        )
+
+
+def compare_with_significance(
+    algorithm_a: str,
+    algorithm_b: str,
+    fed_builder: Callable[[int], FederatedDataset],
+    model_fn_builder: Callable[[FederatedDataset, int], Callable[[], SplitModel]],
+    config: FLConfig,
+    repeats: int = 5,
+    kwargs_a: dict | None = None,
+    kwargs_b: dict | None = None,
+    alpha: float = 0.05,
+) -> RobustComparison:
+    """Run both methods over the same ``repeats`` seeds and test the gap.
+
+    Seeds, data partitions and model initializations are matched
+    pairwise between the two methods, so the t-test is a genuine paired
+    comparison.
+    """
+    if repeats < 2:
+        raise ConfigError("need at least 2 repeats for a paired test")
+    run_a = run_experiment(
+        algorithm_a, fed_builder, model_fn_builder, config,
+        repeats=repeats, **(kwargs_a or {}),
+    )
+    run_b = run_experiment(
+        algorithm_b, fed_builder, model_fn_builder, config,
+        repeats=repeats, **(kwargs_b or {}),
+    )
+    accs_a = np.array([h.tail_mean_accuracy(3) for h in run_a.histories])
+    accs_b = np.array([h.tail_mean_accuracy(3) for h in run_b.histories])
+    return RobustComparison(
+        name_a=algorithm_a,
+        name_b=algorithm_b,
+        accs_a=accs_a,
+        accs_b=accs_b,
+        stats=paired_comparison(accs_a, accs_b, alpha=alpha),
+        ci_a=bootstrap_ci(accs_a),
+        ci_b=bootstrap_ci(accs_b),
+    )

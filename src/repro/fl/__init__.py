@@ -1,0 +1,81 @@
+"""Federated-learning simulation runtime.
+
+The runtime separates the *protocol loop* (:mod:`repro.fl.trainer`) from
+the *algorithm* (:mod:`repro.algorithms`): the trainer owns client
+sampling, the round structure, evaluation and bookkeeping; an algorithm
+plugs in its local-update and aggregation rules plus any extra
+synchronization phases (rFedAvg+ uses one).
+
+Beyond the synchronous loop the package provides the surrounding
+systems a deployment needs: byte-exact communication accounting
+(:mod:`repro.fl.comm`) with a network-time model
+(:mod:`repro.fl.network`), upload compression
+(:mod:`repro.fl.compression`), failure injection
+(:mod:`repro.fl.faults`), secure aggregation (:mod:`repro.fl.secure`),
+adaptive client selection (:mod:`repro.fl.selection`), asynchronous
+training (:mod:`repro.fl.async_sim`), and hierarchical edge/cloud
+aggregation (:mod:`repro.fl.hierarchy`).
+"""
+
+from repro.fl.config import FLConfig
+from repro.fl.comm import CommLedger, vector_bytes
+from repro.fl.metrics import RoundRecord, History
+from repro.fl.sampling import sample_clients
+from repro.fl.client import evaluate_model, local_sgd_steps
+from repro.fl.server import weighted_average
+from repro.fl.trainer import run_federated
+from repro.fl.compression import (
+    Compressor,
+    NoCompression,
+    TopKSparsifier,
+    RandomSubsampler,
+    UniformQuantizer,
+    make_compressor,
+)
+from repro.fl.faults import FaultModel
+from repro.fl.network import LinkModel, round_network_time, estimate_run_network_time
+from repro.fl.secure import SecureAggregator, secure_weighted_average
+from repro.fl.async_sim import AsyncConfig, AsyncHistory, run_async_federated
+from repro.fl.hierarchy import HierarchyConfig, HierarchicalHistory, assign_edges, run_hierarchical
+from repro.fl.selection import (
+    ClientSelector,
+    SelectionContext,
+    UniformSelector,
+    PowerOfChoiceSelector,
+)
+
+__all__ = [
+    "FLConfig",
+    "CommLedger",
+    "vector_bytes",
+    "RoundRecord",
+    "History",
+    "sample_clients",
+    "evaluate_model",
+    "local_sgd_steps",
+    "weighted_average",
+    "run_federated",
+    "Compressor",
+    "NoCompression",
+    "TopKSparsifier",
+    "RandomSubsampler",
+    "UniformQuantizer",
+    "make_compressor",
+    "FaultModel",
+    "LinkModel",
+    "round_network_time",
+    "estimate_run_network_time",
+    "SecureAggregator",
+    "secure_weighted_average",
+    "ClientSelector",
+    "SelectionContext",
+    "UniformSelector",
+    "PowerOfChoiceSelector",
+    "AsyncConfig",
+    "AsyncHistory",
+    "run_async_federated",
+    "HierarchyConfig",
+    "HierarchicalHistory",
+    "assign_edges",
+    "run_hierarchical",
+]

@@ -1,0 +1,62 @@
+"""Communication accounting.
+
+Every vector that crosses the client-server boundary is charged to a
+:class:`CommLedger`, split by direction (downlink = server to clients,
+uplink = clients to server) and payload kind ('model', 'delta',
+'control', 'scalar').  The efficiency evaluation (Table III, Fig. 10)
+reads these ledgers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+
+def vector_bytes(size: int, dtype_bytes: int = 4) -> int:
+    """Wire size of a ``size``-element vector."""
+    return int(size) * int(dtype_bytes)
+
+
+class CommLedger:
+    """Accumulates per-round and total communication volumes."""
+
+    DOWN = "down"
+    UP = "up"
+
+    def __init__(self, dtype_bytes: int = 4) -> None:
+        self.dtype_bytes = dtype_bytes
+        self._round_totals: list[dict[str, int]] = []
+        self._current: dict[str, int] = defaultdict(int)
+
+    def charge(self, direction: str, kind: str, num_scalars: int, copies: int = 1) -> None:
+        """Charge ``copies`` transmissions of a ``num_scalars`` vector."""
+        if direction not in (self.DOWN, self.UP):
+            raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
+        payload = vector_bytes(num_scalars, self.dtype_bytes) * copies
+        self._current[f"{direction}:{kind}"] += payload
+        self._current[direction] += payload
+
+    def end_round(self) -> dict[str, int]:
+        """Close the current round; returns its totals."""
+        totals = dict(self._current)
+        self._round_totals.append(totals)
+        self._current = defaultdict(int)
+        return totals
+
+    @property
+    def rounds(self) -> int:
+        return len(self._round_totals)
+
+    def round_bytes(self, round_idx: int) -> dict[str, int]:
+        return dict(self._round_totals[round_idx])
+
+    def total(self, key: str | None = None) -> int:
+        """Total bytes over all closed rounds (optionally one key)."""
+        if key is None:
+            return sum(r.get(self.DOWN, 0) + r.get(self.UP, 0) for r in self._round_totals)
+        return sum(r.get(key, 0) for r in self._round_totals)
+
+    def per_round_series(self, key: str) -> np.ndarray:
+        return np.array([r.get(key, 0) for r in self._round_totals], dtype=np.int64)

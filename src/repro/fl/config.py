@@ -1,0 +1,58 @@
+"""Federated training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigError
+from repro.nn.optim import LRSchedule
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyperparameters of one federated run.
+
+    Attributes:
+        rounds: number of communication rounds C.
+        local_steps: local minibatch-SGD steps per round E.
+        batch_size: minibatch size B.
+        sample_ratio: fraction of clients selected per round SR
+            (1.0 = full participation, the cross-silo setting).
+        optimizer: 'sgd' | 'rmsprop' | 'adam' — the local optimizer.
+        lr: base learning rate (ignored when lr_schedule is given).
+        lr_schedule: optional schedule over *global* SGD steps t = c*E+i,
+            as in the convergence theory.
+        eval_every: evaluate the global model every this many rounds.
+        eval_batch: evaluation minibatch size (memory knob only).
+        seed: master seed; all round/client randomness derives from it.
+        wire_dtype_bytes: bytes per scalar on the wire for the
+            communication ledger (4 = float32, matching the paper).
+    """
+
+    rounds: int = 30
+    local_steps: int = 5
+    batch_size: int = 32
+    sample_ratio: float = 1.0
+    optimizer: str = "sgd"
+    lr: float = 0.1
+    lr_schedule: LRSchedule | None = None
+    eval_every: int = 1
+    eval_batch: int = 256
+    seed: int = 0
+    wire_dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigError("rounds must be positive")
+        if self.local_steps <= 0:
+            raise ConfigError("local_steps must be positive")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if not 0.0 < self.sample_ratio <= 1.0:
+            raise ConfigError("sample_ratio must be in (0, 1]")
+        if self.eval_every <= 0:
+            raise ConfigError("eval_every must be positive")
+
+    def with_updates(self, **kwargs) -> "FLConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,133 @@
+"""Round-by-round metric recording and persistence."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one communication round."""
+
+    round_idx: int
+    train_loss: float
+    test_accuracy: float | None = None
+    test_loss: float | None = None
+    reg_loss: float = 0.0
+    wall_time_sec: float = 0.0
+    bytes_down: int = 0
+    bytes_up: int = 0
+    num_selected: int = 0
+
+
+@dataclass
+class History:
+    """The full trajectory of a federated run."""
+
+    algorithm: str
+    records: list[RoundRecord] = field(default_factory=list)
+    final_accuracy: float | None = None
+    per_client_accuracy: np.ndarray | None = None
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    # -- series accessors --------------------------------------------------------
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round_idx for r in self.records])
+
+    def train_losses(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.records])
+
+    def accuracies(self) -> np.ndarray:
+        """(round, accuracy) pairs for rounds that were evaluated."""
+        pts = [(r.round_idx, r.test_accuracy) for r in self.records if r.test_accuracy is not None]
+        if not pts:
+            return np.zeros((0, 2))
+        return np.array(pts, dtype=np.float64)
+
+    def test_losses(self) -> np.ndarray:
+        pts = [(r.round_idx, r.test_loss) for r in self.records if r.test_loss is not None]
+        if not pts:
+            return np.zeros((0, 2))
+        return np.array(pts, dtype=np.float64)
+
+    def wall_times(self) -> np.ndarray:
+        return np.array([r.wall_time_sec for r in self.records])
+
+    # -- summary statistics --------------------------------------------------------
+    def best_accuracy(self) -> float:
+        acc = self.accuracies()
+        return float(acc[:, 1].max()) if len(acc) else float("nan")
+
+    def last_accuracy(self) -> float:
+        acc = self.accuracies()
+        return float(acc[-1, 1]) if len(acc) else float("nan")
+
+    def tail_mean_accuracy(self, tail: int = 5) -> float:
+        """Mean accuracy over the last ``tail`` evaluations (the paper's
+        reported number averages the settled end of the curve)."""
+        acc = self.accuracies()
+        if not len(acc):
+            return float("nan")
+        return float(acc[-tail:, 1].mean())
+
+    def rounds_to_reach(self, accuracy: float) -> int | None:
+        """First round index whose test accuracy meets ``accuracy`` (Fig. 10a/b)."""
+        for r in self.records:
+            if r.test_accuracy is not None and r.test_accuracy >= accuracy:
+                return r.round_idx
+        return None
+
+    def mean_round_time(self) -> float:
+        times = self.wall_times()
+        return float(times.mean()) if len(times) else 0.0
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes_down + r.bytes_up for r in self.records)
+
+    # -- persistence --------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the full history."""
+        return {
+            "algorithm": self.algorithm,
+            "final_accuracy": self.final_accuracy,
+            "per_client_accuracy": (
+                self.per_client_accuracy.tolist()
+                if self.per_client_accuracy is not None
+                else None
+            ),
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load_json(cls, path: str) -> "History":
+        with open(path) as handle:
+            data = json.load(handle)
+        history = cls(algorithm=data["algorithm"])
+        history.final_accuracy = data["final_accuracy"]
+        if data["per_client_accuracy"] is not None:
+            history.per_client_accuracy = np.array(data["per_client_accuracy"])
+        for record in data["records"]:
+            history.append(RoundRecord(**record))
+        return history
+
+    def save_csv(self, path: str) -> None:
+        """One row per round, spreadsheet-friendly."""
+        fields = [
+            "round_idx", "train_loss", "test_accuracy", "test_loss",
+            "reg_loss", "wall_time_sec", "bytes_down", "bytes_up", "num_selected",
+        ]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow({k: getattr(record, k) for k in fields})

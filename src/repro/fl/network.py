@@ -1,0 +1,89 @@
+"""Network cost model: bytes -> estimated wall-clock communication time.
+
+The paper's efficiency evaluation (Fig. 10, Table III) reasons about
+communication in rounds and bytes; real deployments care about seconds.
+This model converts a run's communication ledger into per-round time
+estimates under a simple but standard link model:
+
+* the server's downlink is shared (broadcasts serialize),
+* client uplinks are parallel but the slowest straggler gates the round,
+* every message pays a fixed latency.
+
+It deliberately stays analytic — the simulator measures *compute* time
+for Fig. 10c/d, and this model adds the *network* component that a CPU
+simulation cannot observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+from repro.fl.comm import CommLedger
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Link parameters (defaults ~ a mid-tier WAN federation).
+
+    Attributes:
+        server_bandwidth_bps: shared server downlink bytes/sec.
+        client_bandwidth_bps: per-client uplink bytes/sec.
+        latency_sec: per-message one-way latency.
+    """
+
+    server_bandwidth_bps: float = 125e6  # 1 Gbit/s
+    client_bandwidth_bps: float = 2.5e6  # 20 Mbit/s
+    latency_sec: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.server_bandwidth_bps <= 0 or self.client_bandwidth_bps <= 0:
+            raise ConfigError("bandwidths must be positive")
+        if self.latency_sec < 0:
+            raise ConfigError("latency must be non-negative")
+
+
+def round_network_time(
+    bytes_down: int,
+    bytes_up: int,
+    num_clients: int,
+    link: LinkModel,
+    sync_phases: int = 1,
+) -> float:
+    """Estimated network seconds for one round.
+
+    Args:
+        bytes_down: total downlink bytes this round (all clients).
+        bytes_up: total uplink bytes this round.
+        num_clients: participating clients (gates uplink parallelism).
+        link: the link model.
+        sync_phases: synchronization barriers per round (rFedAvg+ has 2).
+    """
+    if num_clients <= 0:
+        raise ConfigError("num_clients must be positive")
+    down_time = bytes_down / link.server_bandwidth_bps
+    # Clients upload in parallel; each ships ~bytes_up / num_clients.
+    up_time = (bytes_up / num_clients) / link.client_bandwidth_bps
+    latency = 2.0 * link.latency_sec * sync_phases
+    return down_time + up_time + latency
+
+
+def estimate_run_network_time(
+    ledger: CommLedger,
+    num_clients: int,
+    link: LinkModel | None = None,
+    sync_phases: int = 1,
+) -> float:
+    """Total estimated network seconds over every closed round."""
+    link = link if link is not None else LinkModel()
+    total = 0.0
+    for round_idx in range(ledger.rounds):
+        per_round = ledger.round_bytes(round_idx)
+        total += round_network_time(
+            per_round.get(CommLedger.DOWN, 0),
+            per_round.get(CommLedger.UP, 0),
+            num_clients,
+            link,
+            sync_phases,
+        )
+    return total

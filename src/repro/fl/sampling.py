@@ -1,0 +1,27 @@
+"""Client sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+
+def sample_clients(
+    num_clients: int, sample_ratio: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Select round participants uniformly without replacement.
+
+    ``SR = 1.0`` returns every client (full participation, cross-silo);
+    smaller ratios return ``max(1, round(SR * N))`` clients
+    (partial participation, cross-device).
+    """
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ConfigError(f"sample_ratio must be in (0, 1], got {sample_ratio}")
+    if num_clients <= 0:
+        raise ConfigError("num_clients must be positive")
+    if sample_ratio >= 1.0:
+        return np.arange(num_clients)
+    count = max(1, int(round(sample_ratio * num_clients)))
+    selected = rng.choice(num_clients, size=count, replace=False)
+    return np.sort(selected)

@@ -1,0 +1,98 @@
+"""Secure aggregation via pairwise additive masking (Bonawitz et al. 2017).
+
+The paper's privacy evaluation perturbs the delta payloads with DP noise
+(:mod:`repro.core.privacy`); secure aggregation is the complementary
+cryptographic approach: each pair of clients (i, j) derives a shared
+mask m_ij from a common seed, client i adds +m_ij and client j adds
+-m_ij, so individual uploads look uniformly random to the server while
+the *sum* is exact.
+
+This module simulates the masking math (not the key agreement): masks
+come from per-pair seeded generators standing in for Diffie-Hellman
+shared secrets.  Aggregation-weight handling follows the standard trick
+of pre-scaling each update by its weight so the server only needs the
+plain sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+
+class SecureAggregator:
+    """Pairwise-mask secure aggregation for one federated round.
+
+    Args:
+        round_seed: seed material shared by all pairs this round (stands
+            in for the DH-derived per-round secrets).
+        mask_scale: standard deviation of the masks (large enough to
+            drown the signal; exact cancellation makes the value
+            irrelevant to correctness).
+    """
+
+    def __init__(self, round_seed: int, mask_scale: float = 100.0) -> None:
+        if mask_scale <= 0:
+            raise ProtocolError("mask_scale must be positive")
+        self.round_seed = round_seed
+        self.mask_scale = mask_scale
+
+    def _pair_mask(self, low: int, high: int, dim: int) -> np.ndarray:
+        """The shared mask of the client pair (low < high)."""
+        if low >= high:
+            raise ProtocolError("pair must be ordered low < high")
+        rng = np.random.default_rng([self.round_seed, low, high])
+        return rng.normal(0.0, self.mask_scale, size=dim)
+
+    def mask_update(
+        self, client_id: int, participants: list[int], update: np.ndarray
+    ) -> np.ndarray:
+        """What ``client_id`` actually uploads.
+
+        Adds +mask for every higher-id participant and -mask for every
+        lower-id participant; all masks cancel in the sum over the full
+        participant set.
+        """
+        if client_id not in participants:
+            raise ProtocolError(f"client {client_id} not in participant list")
+        masked = np.array(update, dtype=np.float64, copy=True)
+        for other in participants:
+            if other == client_id:
+                continue
+            low, high = min(client_id, other), max(client_id, other)
+            mask = self._pair_mask(low, high, update.size)
+            masked += mask if client_id == low else -mask
+        return masked
+
+    def aggregate(self, masked_updates: list[np.ndarray]) -> np.ndarray:
+        """Server-side plain sum of masked uploads (masks cancel)."""
+        if not masked_updates:
+            raise ProtocolError("nothing to aggregate")
+        return np.sum(masked_updates, axis=0)
+
+
+def secure_weighted_average(
+    updates: list[np.ndarray],
+    weights: np.ndarray,
+    participants: list[int],
+    round_seed: int,
+    mask_scale: float = 100.0,
+) -> np.ndarray:
+    """End-to-end helper: pre-scale, mask, sum.
+
+    Equivalent to :func:`repro.fl.server.weighted_average` but the
+    server only ever sees masked vectors.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(updates) != len(weights) or len(updates) != len(participants):
+        raise ProtocolError("updates, weights and participants must align")
+    total = weights.sum()
+    if total <= 0:
+        raise ProtocolError("weights must sum to a positive value")
+    aggregator = SecureAggregator(round_seed, mask_scale)
+    masked = [
+        aggregator.mask_update(cid, participants, (w / total) * update)
+        for cid, w, update in zip(participants, weights, updates)
+    ]
+    return aggregator.aggregate(masked)

@@ -1,0 +1,89 @@
+"""Client selection strategies.
+
+The paper's conclusion names "adaptive participant selection" as the
+future-work direction to combine with its regularization.  This module
+provides the selection abstraction plus two strategies:
+
+* :class:`UniformSelector` — the paper's setting: uniformly random
+  ``SR * N`` clients per round.
+* :class:`PowerOfChoiceSelector` — Cho et al.'s biased selection: draw a
+  candidate set, evaluate the current global model's loss on each
+  candidate's data, and pick the highest-loss clients.  Converges faster
+  on skewed data at some fairness cost.
+
+A selector receives a :class:`SelectionContext` giving it the round
+index, the federation, and a loss oracle for the current global model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+from repro.exceptions import ConfigError
+
+
+@dataclass
+class SelectionContext:
+    """What a selector may look at when choosing participants."""
+
+    round_idx: int
+    fed: FederatedDataset
+    rng: np.random.Generator
+    client_loss: Callable[[int], float]  # global-model loss on client k's shard
+
+
+class ClientSelector:
+    """Interface: choose this round's participants."""
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _count(num_clients: int, sample_ratio: float) -> int:
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ConfigError(f"sample_ratio must be in (0, 1], got {sample_ratio}")
+    return max(1, int(round(sample_ratio * num_clients)))
+
+
+class UniformSelector(ClientSelector):
+    """Uniformly random without replacement (the FedAvg default)."""
+
+    def __init__(self, sample_ratio: float) -> None:
+        self.sample_ratio = sample_ratio
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        n = context.fed.num_clients
+        k = _count(n, self.sample_ratio)
+        if self.sample_ratio >= 1.0:
+            return np.arange(n)
+        return np.sort(context.rng.choice(n, size=k, replace=False))
+
+
+class PowerOfChoiceSelector(ClientSelector):
+    """Loss-biased selection (Cho et al. 2020, pi-pow-d).
+
+    Args:
+        sample_ratio: fraction of clients to select (k = SR * N).
+        candidate_factor: candidate pool size as a multiple of k
+            (d = factor * k, capped at N).  factor = 1 reduces to
+            uniform selection.
+    """
+
+    def __init__(self, sample_ratio: float, candidate_factor: float = 3.0) -> None:
+        if candidate_factor < 1.0:
+            raise ConfigError("candidate_factor must be >= 1")
+        self.sample_ratio = sample_ratio
+        self.candidate_factor = candidate_factor
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        n = context.fed.num_clients
+        k = _count(n, self.sample_ratio)
+        pool = min(n, max(k, int(round(self.candidate_factor * k))))
+        candidates = context.rng.choice(n, size=pool, replace=False)
+        losses = np.array([context.client_loss(int(c)) for c in candidates])
+        top = candidates[np.argsort(-losses)[:k]]
+        return np.sort(top)

@@ -1,0 +1,35 @@
+"""Server-side aggregation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+
+def weighted_average(vectors: list[np.ndarray], weights: np.ndarray) -> np.ndarray:
+    """FedAvg aggregation: sum_k p_k * v_k with p normalized to 1.
+
+    Args:
+        vectors: per-client flat parameter vectors (same length).
+        weights: non-negative weights, typically client sample counts;
+            normalized internally.
+    """
+    if not vectors:
+        raise ProtocolError("cannot aggregate an empty update set")
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != len(vectors):
+        raise ProtocolError(f"{len(vectors)} vectors but {len(weights)} weights")
+    if (weights < 0).any():
+        raise ProtocolError("aggregation weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ProtocolError("aggregation weights sum to zero")
+    norm = weights / total
+    dim = vectors[0].shape
+    out = np.zeros(dim, dtype=np.float64)
+    for vec, w in zip(vectors, norm):
+        if vec.shape != dim:
+            raise ProtocolError(f"vector shape {vec.shape} != {dim}")
+        out += w * vec
+    return out

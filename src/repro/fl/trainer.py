@@ -1,0 +1,110 @@
+"""The federated protocol loop.
+
+:func:`run_federated` drives a full training run: round-by-round client
+sampling, one algorithm round, periodic evaluation of the global model,
+and metric / communication bookkeeping.  It is algorithm-agnostic — all
+method-specific behaviour lives in :mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+
+if TYPE_CHECKING:  # imported for typing only; avoids a circular import
+    from repro.algorithms.base import FederatedAlgorithm
+from repro.fl.client import evaluate_model
+from repro.fl.config import FLConfig
+from repro.fl.metrics import History, RoundRecord
+from repro.fl.sampling import sample_clients
+from repro.models.split import SplitModel
+from repro.nn.serialization import set_flat_params
+
+
+def run_federated(
+    algorithm: "FederatedAlgorithm",
+    fed: FederatedDataset,
+    model_fn: Callable[[], SplitModel],
+    config: FLConfig,
+    eval_per_client: bool = False,
+    progress: Callable[[RoundRecord], None] | None = None,
+    selector=None,
+) -> History:
+    """Run one federated training job and return its :class:`History`.
+
+    Args:
+        algorithm: a constructed (not yet set up) algorithm strategy.
+        fed: the partitioned dataset.
+        model_fn: builds the initial global model; must be deterministic
+            so repeated runs with the same seed are identical.
+        config: federated hyperparameters.
+        eval_per_client: additionally evaluate the final global model on
+            each client's local shard (fairness analysis, Fig. 11).
+        progress: optional per-round callback (e.g. printing).
+        selector: optional :class:`~repro.fl.selection.ClientSelector`;
+            defaults to uniform sampling at ``config.sample_ratio``.
+    """
+    from repro.fl.selection import SelectionContext
+
+    model = model_fn()
+    algorithm.setup(model, fed, config)
+    round_rng = np.random.default_rng([config.seed, 0xF1])
+
+    def client_loss(client_id: int) -> float:
+        assert algorithm.global_params is not None
+        set_flat_params(model, algorithm.global_params)
+        loss, _acc = evaluate_model(model, fed.clients[client_id], config.eval_batch)
+        return loss
+
+    history = History(algorithm=algorithm.name)
+    for round_idx in range(config.rounds):
+        if selector is None:
+            selected = sample_clients(fed.num_clients, config.sample_ratio, round_rng)
+        else:
+            context = SelectionContext(
+                round_idx=round_idx, fed=fed, rng=round_rng, client_loss=client_loss
+            )
+            selected = np.asarray(selector.select(context), dtype=np.int64)
+        started = time.perf_counter()
+        stats = algorithm.run_round(round_idx, selected)
+        elapsed = time.perf_counter() - started
+        assert algorithm.ledger is not None
+        round_comm = algorithm.ledger.end_round()
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            train_loss=stats.train_loss,
+            reg_loss=stats.reg_loss,
+            wall_time_sec=elapsed,
+            bytes_down=round_comm.get("down", 0),
+            bytes_up=round_comm.get("up", 0),
+            num_selected=len(selected),
+        )
+        is_eval_round = (
+            round_idx % config.eval_every == 0 or round_idx == config.rounds - 1
+        )
+        if is_eval_round:
+            assert algorithm.global_params is not None
+            set_flat_params(model, algorithm.global_params)
+            test_loss, test_acc = evaluate_model(model, fed.test, config.eval_batch)
+            record.test_loss = test_loss
+            record.test_accuracy = test_acc
+        history.append(record)
+        if progress is not None:
+            progress(record)
+
+    history.final_accuracy = history.last_accuracy()
+    if eval_per_client:
+        assert algorithm.global_params is not None
+        set_flat_params(model, algorithm.global_params)
+        per_client = np.zeros(fed.num_clients)
+        eval_sets = fed.client_test if fed.client_test else fed.clients
+        for k, shard in enumerate(eval_sets):
+            _loss, acc = evaluate_model(model, shard, config.eval_batch)
+            per_client[k] = acc
+        history.per_client_accuracy = per_client
+    return history

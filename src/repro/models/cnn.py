@@ -1,0 +1,58 @@
+"""The paper's CNN for MNIST / CIFAR10, with a scalable width knob.
+
+The paper uses the FedAvg CNN (McMahan et al. 2017): two 5x5 conv +
+max-pool blocks followed by a 512-unit fully connected layer (the MMD
+feature layer) and a softmax output.  ``scale=1.0`` reproduces that
+architecture; smaller scales shrink channel counts and the feature
+width so the 1-core CPU benchmarks stay tractable while preserving the
+conv-pool-conv-pool-FC-softmax shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.split import SplitModel
+
+
+def build_cnn(
+    in_channels: int,
+    image_size: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    feature_dim: int | None = None,
+) -> SplitModel:
+    """Build the conv-pool-conv-pool-FC CNN as a :class:`SplitModel`.
+
+    Args:
+        in_channels: 1 for MNIST-like, 3 for CIFAR-like inputs.
+        image_size: input height/width (must be divisible by 4).
+        num_classes: output classes.
+        rng: generator for weight init.
+        scale: width multiplier; 1.0 = paper architecture
+            (32/64 channels, 512-d feature layer).
+        feature_dim: override the feature-layer width directly.
+    """
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    c1 = max(4, int(round(32 * scale)))
+    c2 = max(8, int(round(64 * scale)))
+    feat = feature_dim if feature_dim is not None else max(16, int(round(512 * scale)))
+    kernel = 5 if image_size >= 16 else 3
+    pad = kernel // 2
+    flat = c2 * (image_size // 4) * (image_size // 4)
+    features = nn.Sequential(
+        nn.Conv2d(in_channels, c1, kernel, padding=pad, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(c1, c2, kernel, padding=pad, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(flat, feat, rng=rng),
+        nn.ReLU(),
+    )
+    head = nn.Linear(feat, num_classes, rng=rng)
+    return SplitModel(features, head, feature_dim=feat)

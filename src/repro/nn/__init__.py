@@ -1,0 +1,94 @@
+"""A from-scratch neural-network library on numpy.
+
+This package is the autograd substrate of the reproduction: the paper's
+implementation uses PyTorch, which is unavailable offline, so every layer
+here implements an exact manual ``forward``/``backward`` pair.  Gradients
+are verified against central finite differences in the test suite.
+
+Design notes
+------------
+* Layers subclass :class:`~repro.nn.module.Module` and cache whatever the
+  backward pass needs during ``forward``.
+* ``backward`` *accumulates* into ``Parameter.grad`` (like PyTorch), so a
+  single batch may receive gradient contributions from several objective
+  terms (e.g. cross-entropy loss + the MMD distribution regularizer).
+* All arithmetic is float64 for numerically trustworthy gradient checks.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.pooling import MaxPool2d, AvgPool2d
+from repro.nn.activations import ReLU, Tanh, Sigmoid, LeakyReLU
+from repro.nn.dropout import Dropout
+from repro.nn.norm import LayerNorm, BatchNorm1d
+from repro.nn.embedding import Embedding
+from repro.nn.recurrent import LSTM, LSTMCell, LastTimestep
+from repro.nn.gru import GRU, GRUCell
+from repro.nn.reshape import Flatten
+from repro.nn.losses import (
+    Loss,
+    SoftmaxCrossEntropy,
+    MeanSquaredError,
+    BinaryCrossEntropy,
+)
+from repro.nn.optim import (
+    Optimizer,
+    SGD,
+    RMSProp,
+    Adam,
+    ConstantLR,
+    InverseDecayLR,
+    StepLR,
+)
+from repro.nn.serialization import (
+    get_flat_params,
+    set_flat_params,
+    get_flat_grads,
+    num_params,
+    save_params,
+    load_params,
+)
+from repro.nn import functional
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "GRU",
+    "GRUCell",
+    "LastTimestep",
+    "Flatten",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "BinaryCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "ConstantLR",
+    "InverseDecayLR",
+    "StepLR",
+    "get_flat_params",
+    "set_flat_params",
+    "get_flat_grads",
+    "num_params",
+    "save_params",
+    "load_params",
+    "functional",
+]

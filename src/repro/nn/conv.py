@@ -1,0 +1,118 @@
+"""2-D convolution implemented with im2col.
+
+Inputs follow the (batch, channels, height, width) convention.  The
+im2col/col2im pair turns convolution into a single matrix multiply, which
+is the only way to make a numpy CNN fast enough for the federated
+benchmarks on one CPU core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.module import Module, Parameter
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (B, C, H, W) into columns of shape (B*OH*OW, C*K*K).
+
+    Returns the column matrix and the output spatial dims (OH, OW).
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Gather all kernel offsets with strided slicing: cols[b, c, ki, kj, i, j]
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_end:stride, kj:j_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to image shape."""
+    batch, channels, height, width = x_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            padded[:, :, ki:i_end:stride, kj:j_end:stride] += cols6[:, :, ki, kj, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            name="conv.weight",
+        )
+        self.bias = Parameter(zeros((out_channels,)), name="conv.bias")
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch = x.shape[0]
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*K*K)
+        out = cols @ w_mat.T + self.bias.data  # (B*OH*OW, O)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        out_h, out_w = self._out_hw
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, -1)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat.T @ self._cols).reshape(self.weight.data.shape)
+        self.bias.grad += grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ w_mat  # (B*OH*OW, C*K*K)
+        return col2im(
+            grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding, out_h, out_w
+        )

@@ -1,0 +1,144 @@
+"""GRU layer with exact backpropagation through time.
+
+The paper's sequence model is an LSTM; the GRU is the standard lighter
+alternative (fewer parameters per unit — relevant when the model itself
+is the federated payload), provided for library completeness and
+payload-size experiments.  Gate convention follows Cho et al. 2014:
+
+    z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)        (update gate)
+    r_t = sigmoid(x_t W_r + h_{t-1} U_r + b_r)        (reset gate)
+    n_t = tanh(x_t W_n + r_t * (h_{t-1} U_n) + b_n)   (candidate)
+    h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+from repro.nn.module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Single GRU layer unrolled over time: (B, T, D) -> (B, T, H)."""
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x = Parameter(
+            glorot_uniform(rng, (input_dim, 3 * hidden_dim), input_dim, hidden_dim),
+            name="gru.w_x",
+        )
+        self.w_h = Parameter(
+            np.concatenate(
+                [orthogonal(rng, (hidden_dim, hidden_dim)) for _ in range(3)], axis=1
+            ),
+            name="gru.w_h",
+        )
+        self.bias = Parameter(zeros((3 * hidden_dim,)), name="gru.bias")
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        h = np.zeros((batch, hid))
+        hs = np.zeros((batch, steps, hid))
+        cache = {
+            "x": x,
+            "z": np.zeros((batch, steps, hid)),
+            "r": np.zeros((batch, steps, hid)),
+            "n": np.zeros((batch, steps, hid)),
+            "h_prev": np.zeros((batch, steps, hid)),
+            "hu_n": np.zeros((batch, steps, hid)),
+        }
+        u_z = self.w_h.data[:, :hid]
+        u_r = self.w_h.data[:, hid : 2 * hid]
+        u_n = self.w_h.data[:, 2 * hid :]
+        for t in range(steps):
+            cache["h_prev"][:, t] = h
+            xw = x[:, t] @ self.w_x.data + self.bias.data
+            z = sigmoid(xw[:, :hid] + h @ u_z)
+            r = sigmoid(xw[:, hid : 2 * hid] + h @ u_r)
+            hu_n = h @ u_n
+            n = np.tanh(xw[:, 2 * hid :] + r * hu_n)
+            h = (1.0 - z) * n + z * h
+            cache["z"][:, t], cache["r"][:, t] = z, r
+            cache["n"][:, t], cache["hu_n"][:, t] = n, hu_n
+            hs[:, t] = h
+        self._cache = cache
+        return hs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        u_z = self.w_h.data[:, :hid]
+        u_r = self.w_h.data[:, hid : 2 * hid]
+        u_n = self.w_h.data[:, 2 * hid :]
+        grad_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, hid))
+        for t in reversed(range(steps)):
+            z, r = cache["z"][:, t], cache["r"][:, t]
+            n, hu_n = cache["n"][:, t], cache["hu_n"][:, t]
+            h_prev = cache["h_prev"][:, t]
+            dh = grad_out[:, t] + dh_next
+            dz = dh * (h_prev - n)
+            dn = dh * (1.0 - z)
+            dh_prev = dh * z
+            # Pre-activation gradients.
+            dn_pre = dn * (1.0 - n**2)
+            dr = dn_pre * hu_n
+            dz_pre = dz * z * (1.0 - z)
+            dr_pre = dr * r * (1.0 - r)
+            # Parameter gradients (fused layout [z, r, n]).
+            dxw = np.concatenate([dz_pre, dr_pre, dn_pre], axis=1)
+            self.w_x.grad += x[:, t].T @ dxw
+            self.bias.grad += dxw.sum(axis=0)
+            self.w_h.grad[:, :hid] += h_prev.T @ dz_pre
+            self.w_h.grad[:, hid : 2 * hid] += h_prev.T @ dr_pre
+            self.w_h.grad[:, 2 * hid :] += h_prev.T @ (dn_pre * r)
+            # Input and recurrent gradients.
+            grad_x[:, t] = dxw @ self.w_x.data.T
+            dh_prev = (
+                dh_prev
+                + dz_pre @ u_z.T
+                + dr_pre @ u_r.T
+                + (dn_pre * r) @ u_n.T
+            )
+            dh_next = dh_prev
+        return grad_x
+
+
+class GRU(Module):
+    """A stack of :class:`GRUCell` layers."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_layers = num_layers
+        dims = [input_dim] + [hidden_dim] * num_layers
+        self.cells = [GRUCell(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for cell in self.cells:
+            x = cell.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for cell in reversed(self.cells):
+            grad_out = cell.backward(grad_out)
+        return grad_out

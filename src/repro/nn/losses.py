@@ -1,0 +1,91 @@
+"""Loss functions with exact gradients.
+
+Each loss exposes ``forward(pred, target) -> float`` and
+``backward() -> grad_wrt_pred``.  Losses are mean-reduced over the batch,
+matching the paper's per-client empirical risk (Eq. 4 normalized by n_k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.activations import sigmoid
+
+
+class Loss:
+    """Interface for batch-mean losses."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Multiclass cross-entropy on raw logits with integer labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        labels = np.asarray(target, dtype=np.int64)
+        logp = log_softmax(pred, axis=-1)
+        self._probs = softmax(pred, axis=-1)
+        self._labels = labels
+        batch = pred.shape[0]
+        return float(-logp[np.arange(batch), labels].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._labels] -= 1.0
+        return grad / batch
+
+
+class MeanSquaredError(Loss):
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._diff = pred - np.asarray(target, dtype=np.float64)
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on a single logit column (B,) or (B, 1)."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._shape = pred.shape
+        logits = pred.reshape(-1)
+        target = np.asarray(target, dtype=np.float64).reshape(-1)
+        probs = sigmoid(logits)
+        self._probs = probs
+        self._target = target
+        eps = 1e-12
+        return float(
+            -(target * np.log(probs + eps) + (1 - target) * np.log(1 - probs + eps)).mean()
+        )
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None or self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = (self._probs - self._target) / self._probs.shape[0]
+        return grad.reshape(self._shape)

@@ -1,0 +1,100 @@
+"""Normalization layers.
+
+BatchNorm is a known trouble-spot in federated learning (client batch
+statistics diverge under non-IID data), which makes it a useful model
+component for FL experimentation; LayerNorm is the standard remedy.
+Both implement exact manual backprop and are gradient-checked in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalize each sample over its last dimension, then affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="layernorm.gamma")
+        self.beta = Parameter(np.zeros(dim), name="layernorm.beta")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"LayerNorm expects last dim {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        reduce_axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.grad += (grad_out * x_hat).sum(axis=reduce_axes)
+        self.beta.grad += grad_out.sum(axis=reduce_axes)
+        g = grad_out * self.gamma.data
+        # d/dx of (x - mean) / std, vectorized over leading dims.
+        return inv_std * (
+            g
+            - g.mean(axis=-1, keepdims=True)
+            - x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+        )
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over axis 0 for (batch, features) inputs.
+
+    Running statistics are used in eval mode.  In federated training,
+    running stats are part of the parameter vector *only* through gamma
+    and beta — the running mean/var buffers stay local (the standard
+    FedAvg-with-BN pitfall this layer lets experiments demonstrate).
+    """
+
+    def __init__(self, dim: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="batchnorm.gamma")
+        self.beta = Parameter(np.zeros(dim), name="batchnorm.beta")
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"BatchNorm1d expects (batch, {self.dim}), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, x.shape[0], self.training)
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, batch, was_training = self._cache
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        g = grad_out * self.gamma.data
+        if not was_training:
+            # Eval mode: mean/var are constants.
+            return g * inv_std
+        return inv_std / batch * (
+            batch * g - g.sum(axis=0) - x_hat * (g * x_hat).sum(axis=0)
+        )

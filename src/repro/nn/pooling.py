@@ -1,0 +1,76 @@
+"""Spatial pooling layers for (batch, channels, H, W) inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with a square window.
+
+    Requires the spatial dims to be divisible by ``pool_size`` (the model
+    zoo pads inputs so this always holds), which lets the implementation
+    be a cheap reshape instead of a windowed scan.
+    """
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        self.pool_size = pool_size
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ValueError(
+                f"MaxPool2d: spatial dims ({height},{width}) not divisible by {p}"
+            )
+        blocks = x.reshape(batch, channels, height // p, p, width // p, p)
+        out = blocks.max(axis=(3, 5))
+        # A mask of argmax positions; ties are broken by keeping all maxima,
+        # then renormalizing, which still yields a valid subgradient.
+        expanded = out[:, :, :, None, :, None]
+        mask = (blocks == expanded).astype(np.float64)
+        mask /= mask.sum(axis=(3, 5), keepdims=True)
+        self._mask = mask
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_blocks = self._mask * grad_out[:, :, :, None, :, None]
+        return grad_blocks.reshape(self._x_shape)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with a square window."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        self.pool_size = pool_size
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ValueError(
+                f"AvgPool2d: spatial dims ({height},{width}) not divisible by {p}"
+            )
+        self._x_shape = x.shape
+        blocks = x.reshape(batch, channels, height // p, p, width // p, p)
+        return blocks.mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        p = self.pool_size
+        grad = grad_out[:, :, :, None, :, None] / (p * p)
+        grad = np.broadcast_to(
+            grad, grad_out.shape[:3] + (p,) + grad_out.shape[3:4] + (p,)
+        )
+        return grad.reshape(self._x_shape)

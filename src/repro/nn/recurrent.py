@@ -1,0 +1,174 @@
+"""Multi-layer LSTM with exact backpropagation through time.
+
+The Sent140 model in the paper is a 2-layer LSTM followed by a fully
+connected layer.  This module implements an :class:`LSTMCell` (one step),
+an :class:`LSTM` (a stack of layers unrolled over a full sequence), and
+:class:`LastTimestep` (extracts the final hidden state for
+classification heads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """Single LSTM layer unrolled over time.
+
+    Input: (B, T, input_dim).  Output: the full hidden sequence
+    (B, T, hidden_dim).  Gate order in the fused weight matrix is
+    [input, forget, cell, output].  The forget-gate bias starts at 1.0
+    (standard remedy for vanishing memory early in training).
+    """
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x = Parameter(
+            glorot_uniform(rng, (input_dim, 4 * hidden_dim), input_dim, hidden_dim),
+            name="lstm.w_x",
+        )
+        self.w_h = Parameter(
+            np.concatenate(
+                [orthogonal(rng, (hidden_dim, hidden_dim)) for _ in range(4)], axis=1
+            ),
+            name="lstm.w_h",
+        )
+        bias = zeros((4 * hidden_dim,))
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget gate
+        self.bias = Parameter(bias, name="lstm.bias")
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        h = np.zeros((batch, hid))
+        c = np.zeros((batch, hid))
+        hs = np.zeros((batch, steps, hid))
+        gates_i = np.zeros((batch, steps, hid))
+        gates_f = np.zeros((batch, steps, hid))
+        gates_g = np.zeros((batch, steps, hid))
+        gates_o = np.zeros((batch, steps, hid))
+        cells = np.zeros((batch, steps, hid))
+        h_prevs = np.zeros((batch, steps, hid))
+        c_prevs = np.zeros((batch, steps, hid))
+        for t in range(steps):
+            h_prevs[:, t] = h
+            c_prevs[:, t] = c
+            z = x[:, t] @ self.w_x.data + h @ self.w_h.data + self.bias.data
+            gi = sigmoid(z[:, :hid])
+            gf = sigmoid(z[:, hid : 2 * hid])
+            gg = np.tanh(z[:, 2 * hid : 3 * hid])
+            go = sigmoid(z[:, 3 * hid :])
+            c = gf * c + gi * gg
+            h = go * np.tanh(c)
+            gates_i[:, t], gates_f[:, t] = gi, gf
+            gates_g[:, t], gates_o[:, t] = gg, go
+            cells[:, t] = c
+            hs[:, t] = h
+        self._cache = {
+            "x": x,
+            "i": gates_i,
+            "f": gates_f,
+            "g": gates_g,
+            "o": gates_o,
+            "c": cells,
+            "h_prev": h_prevs,
+            "c_prev": c_prevs,
+        }
+        return hs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        grad_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, hid))
+        dc_next = np.zeros((batch, hid))
+        for t in reversed(range(steps)):
+            gi, gf = cache["i"][:, t], cache["f"][:, t]
+            gg, go = cache["g"][:, t], cache["o"][:, t]
+            c, c_prev = cache["c"][:, t], cache["c_prev"][:, t]
+            h_prev = cache["h_prev"][:, t]
+            dh = grad_out[:, t] + dh_next
+            tanh_c = np.tanh(c)
+            dc = dh * go * (1.0 - tanh_c**2) + dc_next
+            d_go = dh * tanh_c
+            d_gi = dc * gg
+            d_gg = dc * gi
+            d_gf = dc * c_prev
+            dz = np.concatenate(
+                [
+                    d_gi * gi * (1.0 - gi),
+                    d_gf * gf * (1.0 - gf),
+                    d_gg * (1.0 - gg**2),
+                    d_go * go * (1.0 - go),
+                ],
+                axis=1,
+            )
+            self.w_x.grad += x[:, t].T @ dz
+            self.w_h.grad += h_prev.T @ dz
+            self.bias.grad += dz.sum(axis=0)
+            grad_x[:, t] = dz @ self.w_x.data.T
+            dh_next = dz @ self.w_h.data.T
+            dc_next = dc * gf
+        return grad_x
+
+
+class LSTM(Module):
+    """A stack of :class:`LSTMCell` layers (the paper uses 2)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_layers = num_layers
+        dims = [input_dim] + [hidden_dim] * num_layers
+        self.cells = [
+            LSTMCell(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for cell in self.cells:
+            x = cell.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for cell in reversed(self.cells):
+            grad_out = cell.backward(grad_out)
+        return grad_out
+
+
+class LastTimestep(Module):
+    """Select the last timestep of a sequence: (B, T, H) -> (B, H)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.zeros(self._shape, dtype=np.float64)
+        grad[:, -1, :] = grad_out
+        return grad

@@ -1,0 +1,85 @@
+"""Flat-vector (de)serialization of model parameters.
+
+Federated payloads cross the client-server boundary as single float64
+vectors; these helpers define the canonical layout (parameter discovery
+order, row-major flattening) used by every algorithm and by the
+communication accountant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def num_params(model: Module) -> int:
+    """Total number of scalar parameters in ``model``."""
+    return sum(p.size for p in model.parameters())
+
+
+def get_flat_params(model: Module) -> np.ndarray:
+    """Concatenate all parameters into one float64 vector (a copy)."""
+    parts = [p.data.reshape(-1) for p in model.parameters()]
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def set_flat_params(model: Module, flat: np.ndarray) -> None:
+    """Write ``flat`` back into the model, preserving shapes."""
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = num_params(model)
+    if flat.size != expected:
+        raise ValueError(f"flat vector has {flat.size} entries, model needs {expected}")
+    offset = 0
+    for p in model.parameters():
+        p.data[...] = flat[offset : offset + p.size].reshape(p.shape)
+        offset += p.size
+
+
+def get_flat_grads(model: Module) -> np.ndarray:
+    """Concatenate all accumulated gradients into one vector (a copy)."""
+    parts = [p.grad.reshape(-1) for p in model.parameters()]
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def add_flat_to_grads(model: Module, flat: np.ndarray) -> None:
+    """Add a flat vector into the model's gradient buffers.
+
+    Used by SCAFFOLD to inject control-variate corrections and by
+    FedProx to add the proximal-term gradient before the optimizer step.
+    """
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = num_params(model)
+    if flat.size != expected:
+        raise ValueError(f"flat vector has {flat.size} entries, model needs {expected}")
+    offset = 0
+    for p in model.parameters():
+        p.grad += flat[offset : offset + p.size].reshape(p.shape)
+        offset += p.size
+
+
+def save_params(model: Module, path: str) -> None:
+    """Persist parameters to an ``.npz`` file."""
+    arrays = {f"p{i}": p.data for i, p in enumerate(model.parameters())}
+    np.savez(path, **arrays)
+
+
+def load_params(model: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_params` into ``model``."""
+    with np.load(path) as data:
+        params = model.parameters()
+        if len(data.files) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(data.files)} tensors, model has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            stored = data[f"p{i}"]
+            if stored.shape != p.data.shape:
+                raise ValueError(
+                    f"tensor {i} shape mismatch: {stored.shape} vs {p.data.shape}"
+                )
+            p.data[...] = stored

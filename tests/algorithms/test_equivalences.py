@@ -1,0 +1,97 @@
+"""Cross-algorithm equivalence and ablation tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    FedAvg,
+    RFedAvg,
+    RFedAvgExact,
+    RFedAvgPlus,
+    make_algorithm,
+)
+from repro.core.privacy import GaussianDeltaMechanism
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+from repro.models import build_mlp
+
+
+def _model_fn(fed, seed=0):
+    return lambda: build_mlp(
+        fed.spec.flat_dim, fed.spec.num_classes, np.random.default_rng(seed), (16,), feature_dim=8
+    )
+
+
+def test_registry_contains_all_paper_methods():
+    for name in ["fedavg", "fedprox", "scaffold", "qfedavg", "rfedavg", "rfedavg+"]:
+        assert name in ALGORITHMS
+
+
+def test_make_algorithm_unknown_name():
+    with pytest.raises(KeyError):
+        make_algorithm("fancy-new-method")
+
+
+def test_make_algorithm_passes_kwargs():
+    alg = make_algorithm("rfedavg+", lam=0.123)
+    assert alg.lam == 0.123
+
+
+@pytest.mark.parametrize("cls", [RFedAvg, RFedAvgPlus])
+def test_lambda_zero_matches_fedavg_trajectory(toy_federation, fast_config, cls):
+    """With lambda = 0 the regularized algorithms follow FedAvg's exact
+    parameter trajectory (zero gradient injection, same batch rngs)."""
+    reg_alg = cls(lam=0.0)
+    run_federated(reg_alg, toy_federation, _model_fn(toy_federation), fast_config)
+    avg = FedAvg()
+    run_federated(avg, toy_federation, _model_fn(toy_federation), fast_config)
+    np.testing.assert_allclose(reg_alg.global_params, avg.global_params, atol=1e-12)
+
+
+def test_exact_variant_tracks_plus_variant(toy_federation):
+    """The delayed mapping of rFedAvg+ should land near the exact
+    (up-to-date mapping) reference in parameter space."""
+    config = FLConfig(rounds=4, local_steps=3, batch_size=8, lr=0.1, seed=5)
+    plus = RFedAvgPlus(lam=1e-3)
+    run_federated(plus, toy_federation, _model_fn(toy_federation), config)
+    exact = RFedAvgExact(lam=1e-3)
+    run_federated(exact, toy_federation, _model_fn(toy_federation), config)
+    gap = np.linalg.norm(plus.global_params - exact.global_params)
+    scale = np.linalg.norm(exact.global_params)
+    assert gap < 0.05 * scale
+
+
+def test_exact_variant_charges_per_step_pairwise_traffic(toy_federation, fast_config):
+    exact = RFedAvgExact(lam=1e-3)
+    run_federated(exact, toy_federation, _model_fn(toy_federation), fast_config)
+    plus = RFedAvgPlus(lam=1e-3)
+    run_federated(plus, toy_federation, _model_fn(toy_federation), fast_config)
+    assert exact.ledger.total("up:delta") > 5 * plus.ledger.total("up:delta")
+
+
+def test_privacy_noise_perturbs_but_does_not_break(toy_federation, fast_config):
+    noisy = RFedAvgPlus(lam=1e-3, privacy=GaussianDeltaMechanism(sigma=1.0, seed=0))
+    hist_noisy = run_federated(noisy, toy_federation, _model_fn(toy_federation), fast_config)
+    clean = RFedAvgPlus(lam=1e-3)
+    hist_clean = run_federated(clean, toy_federation, _model_fn(toy_federation), fast_config)
+    assert np.isfinite(hist_noisy.final_accuracy)
+    # Deltas differ because of the noise.
+    assert not np.allclose(
+        noisy.delta_table.full_table(), clean.delta_table.full_table()
+    )
+
+
+def test_huge_privacy_noise_hurts_more_than_small(toy_federation):
+    """Monotone degradation hook: enormous noise must move the model
+    further from the noiseless trajectory than small noise."""
+    config = FLConfig(rounds=4, local_steps=3, batch_size=8, lr=0.1, seed=7)
+    clean = RFedAvgPlus(lam=0.5)
+    run_federated(clean, toy_federation, _model_fn(toy_federation), config)
+    small = RFedAvgPlus(lam=0.5, privacy=GaussianDeltaMechanism(sigma=0.1, seed=1))
+    run_federated(small, toy_federation, _model_fn(toy_federation), config)
+    huge = RFedAvgPlus(lam=0.5, privacy=GaussianDeltaMechanism(sigma=500.0, seed=1))
+    run_federated(huge, toy_federation, _model_fn(toy_federation), config)
+    gap_small = np.linalg.norm(small.global_params - clean.global_params)
+    gap_huge = np.linalg.norm(huge.global_params - clean.global_params)
+    assert gap_huge > gap_small

@@ -1,0 +1,84 @@
+"""FedNova and FedAvgM tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, FedAvgM, FedNova, make_algorithm
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+from repro.models import build_mlp
+
+
+def _model_fn(fed, seed=0):
+    return lambda: build_mlp(
+        fed.spec.flat_dim, fed.spec.num_classes, np.random.default_rng(seed), (16,), feature_dim=8
+    )
+
+
+def test_registry_has_new_methods():
+    assert isinstance(make_algorithm("fednova"), FedNova)
+    assert isinstance(make_algorithm("fedavgm"), FedAvgM)
+
+
+def test_fednova_homogeneous_steps_equals_fedavg(toy_federation, fast_config):
+    """With uniform tau_k, normalized averaging reduces to FedAvg's
+    weighted average of the y_k exactly."""
+    nova = FedNova()
+    run_federated(nova, toy_federation, _model_fn(toy_federation), fast_config)
+    avg = FedAvg()
+    run_federated(avg, toy_federation, _model_fn(toy_federation), fast_config)
+    np.testing.assert_allclose(nova.global_params, avg.global_params, atol=1e-10)
+
+
+def test_fednova_heterogeneous_steps_run(toy_federation):
+    config = FLConfig(rounds=3, local_steps=4, batch_size=8, lr=0.1, seed=1)
+    nova = FedNova(local_steps_fn=lambda rnd, cid: 1 + cid)  # stragglers
+    history = run_federated(nova, toy_federation, _model_fn(toy_federation), config)
+    assert np.isfinite(history.final_accuracy)
+    assert len(history.records) == 3
+
+
+def test_fednova_heterogeneous_differs_from_fedavg(toy_federation, fast_config):
+    nova = FedNova(local_steps_fn=lambda rnd, cid: 1 + 2 * cid)
+    run_federated(nova, toy_federation, _model_fn(toy_federation), fast_config)
+    avg = FedAvg()
+    run_federated(avg, toy_federation, _model_fn(toy_federation), fast_config)
+    assert not np.allclose(nova.global_params, avg.global_params)
+
+
+def test_fednova_learns(iid_federation):
+    config = FLConfig(rounds=20, local_steps=4, batch_size=16, lr=0.3, eval_every=5, seed=0)
+    history = run_federated(
+        FedNova(), iid_federation, _model_fn(iid_federation), config
+    )
+    assert history.final_accuracy > 0.5
+
+
+def test_fedavgm_validation():
+    with pytest.raises(ConfigError):
+        FedAvgM(server_momentum=1.0)
+    with pytest.raises(ConfigError):
+        FedAvgM(server_lr=0.0)
+
+
+def test_fedavgm_zero_momentum_equals_fedavg(toy_federation, fast_config):
+    momentum = FedAvgM(server_momentum=0.0, server_lr=1.0)
+    run_federated(momentum, toy_federation, _model_fn(toy_federation), fast_config)
+    avg = FedAvg()
+    run_federated(avg, toy_federation, _model_fn(toy_federation), fast_config)
+    np.testing.assert_allclose(momentum.global_params, avg.global_params, atol=1e-12)
+
+
+def test_fedavgm_momentum_accumulates_velocity(toy_federation, fast_config):
+    alg = FedAvgM(server_momentum=0.9)
+    run_federated(alg, toy_federation, _model_fn(toy_federation), fast_config)
+    assert np.linalg.norm(alg._velocity) > 0
+
+
+def test_fedavgm_learns(iid_federation):
+    config = FLConfig(rounds=20, local_steps=4, batch_size=16, lr=0.2, eval_every=5, seed=0)
+    history = run_federated(
+        FedAvgM(server_momentum=0.5), iid_federation, _model_fn(iid_federation), config
+    )
+    assert history.final_accuracy > 0.5

@@ -1,0 +1,59 @@
+"""FedProx tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, FedProx
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+from repro.models import build_mlp
+from repro.nn.serialization import get_flat_params
+
+
+def _model_fn(fed, seed=0):
+    return lambda: build_mlp(
+        fed.spec.flat_dim, fed.spec.num_classes, np.random.default_rng(seed), (16,), feature_dim=8
+    )
+
+
+def test_mu_zero_equals_fedavg(toy_federation, fast_config):
+    hist_prox = run_federated(
+        FedProx(mu=0.0), toy_federation, _model_fn(toy_federation), fast_config
+    )
+    hist_avg = run_federated(
+        FedAvg(), toy_federation, _model_fn(toy_federation), fast_config
+    )
+    np.testing.assert_array_equal(hist_prox.train_losses(), hist_avg.train_losses())
+    assert hist_prox.final_accuracy == hist_avg.final_accuracy
+
+
+def test_large_mu_keeps_model_near_global(toy_federation):
+    """The proximal term shrinks the distance travelled in one round."""
+    config = FLConfig(rounds=1, local_steps=10, batch_size=8, lr=0.1, seed=4)
+    model_fn = _model_fn(toy_federation)
+    start = get_flat_params(model_fn())
+
+    alg_free = FedProx(mu=0.0)
+    run_federated(alg_free, toy_federation, model_fn, config)
+    dist_free = np.linalg.norm(alg_free.global_params - start)
+
+    # Keep lr * mu < 2 or the proximal update itself oscillates.
+    alg_tight = FedProx(mu=8.0)
+    run_federated(alg_tight, toy_federation, model_fn, config)
+    dist_tight = np.linalg.norm(alg_tight.global_params - start)
+
+    assert dist_tight < 0.7 * dist_free
+
+
+def test_negative_mu_rejected():
+    with pytest.raises(ConfigError):
+        FedProx(mu=-0.1)
+
+
+def test_moderate_mu_still_learns(iid_federation):
+    config = FLConfig(rounds=20, local_steps=4, batch_size=16, lr=0.3, eval_every=5, seed=0)
+    history = run_federated(
+        FedProx(mu=0.01), iid_federation, _model_fn(iid_federation), config
+    )
+    assert history.final_accuracy > 0.5

@@ -1,0 +1,64 @@
+"""q-FedAvg tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import QFedAvg
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+from repro.models import build_mlp
+
+
+def _model_fn(fed, seed=0):
+    return lambda: build_mlp(
+        fed.spec.flat_dim, fed.spec.num_classes, np.random.default_rng(seed), (16,), feature_dim=8
+    )
+
+
+def test_negative_q_rejected():
+    with pytest.raises(ConfigError):
+        QFedAvg(q=-1.0)
+
+
+def test_qfedavg_learns_on_iid(iid_federation):
+    config = FLConfig(rounds=25, local_steps=4, batch_size=16, lr=0.3, eval_every=5, seed=0)
+    history = run_federated(QFedAvg(q=1.0), iid_federation, _model_fn(iid_federation), config)
+    assert history.final_accuracy > 0.45
+
+
+def test_tiny_q_close_to_unweighted_direction(toy_federation):
+    """With q -> 0 the update direction approaches the plain average of
+    client deltas (magnitudes may differ slightly through h_k)."""
+    config = FLConfig(rounds=1, local_steps=2, batch_size=8, lr=0.1, seed=6)
+    model_fn = _model_fn(toy_federation)
+    from repro.nn.serialization import get_flat_params
+
+    start = get_flat_params(model_fn())
+    alg_a = QFedAvg(q=1e-8)
+    run_federated(alg_a, toy_federation, model_fn, config)
+    alg_b = QFedAvg(q=1e-6)
+    run_federated(alg_b, toy_federation, model_fn, config)
+    step_a = alg_a.global_params - start
+    step_b = alg_b.global_params - start
+    cos = step_a @ step_b / (np.linalg.norm(step_a) * np.linalg.norm(step_b))
+    assert cos > 0.9999
+
+
+def test_update_moves_toward_clients(toy_federation):
+    config = FLConfig(rounds=1, local_steps=3, batch_size=8, lr=0.1, seed=2)
+    model_fn = _model_fn(toy_federation)
+    from repro.nn.serialization import get_flat_params
+
+    start = get_flat_params(model_fn())
+    alg = QFedAvg(q=1.0)
+    run_federated(alg, toy_federation, model_fn, config)
+    assert np.linalg.norm(alg.global_params - start) > 0
+    assert np.all(np.isfinite(alg.global_params))
+
+
+def test_comm_includes_scalar_losses(toy_federation, fast_config):
+    alg = QFedAvg(q=1.0)
+    run_federated(alg, toy_federation, _model_fn(toy_federation), fast_config)
+    assert alg.ledger.total("up:scalar") > 0
+    assert alg.ledger.total("up:model") == alg.ledger.total("down:model")

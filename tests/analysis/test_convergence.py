@@ -1,0 +1,129 @@
+"""Convergence-theory calculator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import (
+    ProblemConstants,
+    constant_c1,
+    constant_c2,
+    constant_c3,
+    fedavg_bound,
+    theorem1_bound,
+    theorem2_bound,
+    theory_schedule,
+)
+from repro.exceptions import ConfigError
+
+
+def _constants(**overrides):
+    base = dict(
+        smoothness=4.0,
+        strong_convexity=0.5,
+        grad_bound=2.0,
+        grad_bound_reg=2.5,
+        phi_grad_bound=1.5,
+        diameter=3.0,
+        local_steps=5,
+        num_clients=10,
+        lam=1e-3,
+    )
+    base.update(overrides)
+    return ProblemConstants(**base)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        _constants(smoothness=0.1)  # L < mu
+    with pytest.raises(ConfigError):
+        _constants(strong_convexity=-1.0)
+    with pytest.raises(ConfigError):
+        _constants(num_clients=1)
+    with pytest.raises(ConfigError):
+        _constants(local_steps=0)
+
+
+def test_kappa_gamma():
+    constants = _constants()
+    assert constants.kappa == pytest.approx(8.0)
+    assert constants.gamma == pytest.approx(64.0)  # max(8*8, 5)
+    assert _constants(local_steps=100).gamma == 100.0
+
+
+def test_theory_schedule_matches_formula():
+    constants = _constants()
+    sched = theory_schedule(constants)
+    assert sched.rate(0) == pytest.approx(2.0 / (0.5 * constants.gamma))
+    assert sched.rate(10) == pytest.approx(2.0 / (0.5 * (constants.gamma + 10)))
+
+
+def test_fedavg_bound_decays_like_one_over_t():
+    constants = _constants()
+    b10 = fedavg_bound(10, constants, initial_gap=1.0)
+    b100 = fedavg_bound(100, constants, initial_gap=1.0)
+    b1000 = fedavg_bound(1000, constants, initial_gap=1.0)
+    assert b10 > b100 > b1000
+    # Asymptotic 1/t: ratio of bounds at 10x horizon approaches 10.
+    ratio = b100 / b1000
+    assert 5 < ratio < 11
+
+
+@given(
+    st.floats(1.0, 10.0),
+    st.floats(0.1, 0.9),
+    st.floats(0.5, 5.0),
+    st.floats(0.5, 5.0),
+    st.floats(0.5, 3.0),
+    st.integers(1, 20),
+    st.integers(2, 100),
+    st.floats(0.0, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_c2_strictly_below_c3(L, mu, g, gp, h, e_steps, n, lam):
+    """The paper's headline theory claim: C2 < C3 for all valid constants."""
+    constants = ProblemConstants(
+        smoothness=max(L, mu + 0.01),
+        strong_convexity=mu,
+        grad_bound=g,
+        grad_bound_reg=gp,
+        phi_grad_bound=h,
+        diameter=1.0,
+        local_steps=e_steps,
+        num_clients=n,
+        lam=lam,
+    )
+    assert constant_c2(constants) < constant_c3(constants)
+
+
+def test_theorem1_bound_below_theorem2():
+    constants = _constants()
+    t = 500
+    assert theorem1_bound(t, constants, 1.0) < theorem2_bound(t, constants, 1.0)
+
+
+def test_regularized_bounds_decay():
+    constants = _constants()
+    b1 = theorem1_bound(100, constants, 1.0)
+    b2 = theorem1_bound(1000, constants, 1.0)
+    assert b2 < b1
+
+
+def test_bound_undefined_before_start():
+    constants = _constants(local_steps=100)  # gamma = 100
+    with pytest.raises(ConfigError):
+        theorem1_bound(-1, constants, 1.0)
+
+
+def test_c1_positive_and_grows_with_e():
+    small = constant_c1(_constants(local_steps=1))
+    big = constant_c1(_constants(local_steps=20))
+    assert 0 < small < big
+
+
+def test_custom_weights_used():
+    uniform = _constants()
+    skewed = _constants(weights=np.array([0.9] + [0.1 / 9] * 9))
+    # Same total weight -> same constants (they only enter via sum p_k).
+    assert constant_c2(uniform) == pytest.approx(constant_c2(skewed))

@@ -1,0 +1,66 @@
+"""Curve-shape statistic tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import (
+    area_under_curve,
+    detrended_oscillation,
+    oscillation_score,
+    trend_slope,
+)
+from repro.exceptions import DataError
+
+
+def _curve(values, start=0):
+    rounds = np.arange(start, start + len(values))
+    return np.column_stack([rounds, values])
+
+
+def test_oscillation_zero_on_constant():
+    assert oscillation_score(_curve([0.5, 0.5, 0.5, 0.5])) == 0.0
+
+
+def test_oscillation_ranks_wobbly_above_smooth():
+    smooth = _curve([0.1, 0.2, 0.3, 0.4, 0.5])
+    wobbly = _curve([0.1, 0.5, 0.1, 0.5, 0.1])
+    assert oscillation_score(wobbly) > oscillation_score(smooth)
+
+
+def test_detrended_oscillation_ignores_steady_growth():
+    # A perfectly linear ramp has zero detrended oscillation.
+    ramp = _curve(np.linspace(0.1, 0.9, 10))
+    assert detrended_oscillation(ramp) == pytest.approx(0.0, abs=1e-12)
+    # But raw oscillation is positive (it improves every round).
+    assert oscillation_score(ramp) > 0
+
+
+def test_detrended_oscillation_sees_wobble_on_trend():
+    rounds = np.arange(20)
+    trend = 0.02 * rounds
+    wobble = 0.1 * (-1.0) ** rounds
+    assert detrended_oscillation(_curve(trend + wobble)) > 0.05
+
+
+def test_trend_slope():
+    assert trend_slope(_curve([0.0, 0.1, 0.2, 0.3])) == pytest.approx(0.1)
+    assert trend_slope(_curve([0.5, 0.5, 0.5])) == pytest.approx(0.0)
+
+
+def test_auc_ranks_fast_convergence_higher():
+    fast = _curve([0.8, 0.9, 0.9, 0.9])
+    slow = _curve([0.1, 0.3, 0.6, 0.9])
+    assert area_under_curve(fast) > area_under_curve(slow)
+
+
+def test_auc_of_constant_equals_value():
+    assert area_under_curve(_curve([0.7, 0.7, 0.7])) == pytest.approx(0.7)
+
+
+def test_validation():
+    with pytest.raises(DataError):
+        oscillation_score(np.zeros((2, 2)))  # too short
+    with pytest.raises(DataError):
+        oscillation_score(np.zeros(5))  # wrong shape
+    with pytest.raises(DataError):
+        area_under_curve(np.array([[0, 1.0], [0, 2.0], [0, 3.0]]))  # zero span

@@ -1,0 +1,51 @@
+"""Fairness statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import fairness_report, gini_coefficient, worst_k_mean
+
+
+def test_worst_k_mean():
+    acc = np.array([0.9, 0.1, 0.5, 0.3])
+    assert worst_k_mean(acc, 2) == pytest.approx(0.2)
+    assert worst_k_mean(acc, 4) == pytest.approx(0.45)
+
+
+def test_worst_k_invalid():
+    with pytest.raises(ValueError):
+        worst_k_mean(np.array([0.5]), 0)
+
+
+def test_gini_uniform_is_zero():
+    assert gini_coefficient(np.full(10, 0.7)) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_gini_extreme_inequality_near_one():
+    values = np.zeros(100)
+    values[0] = 1.0
+    assert gini_coefficient(values) > 0.9
+
+
+def test_gini_scale_invariant():
+    values = np.array([1.0, 2.0, 3.0])
+    assert gini_coefficient(values) == pytest.approx(gini_coefficient(10 * values))
+
+
+def test_gini_empty_raises():
+    with pytest.raises(ValueError):
+        gini_coefficient(np.array([]))
+
+
+def test_gini_all_zero():
+    assert gini_coefficient(np.zeros(5)) == 0.0
+
+
+def test_fairness_report_fields():
+    acc = np.array([0.2, 0.4, 0.6, 0.8, 1.0])
+    report = fairness_report(acc, worst_k=2)
+    assert report["mean"] == pytest.approx(0.6)
+    assert report["min"] == pytest.approx(0.2)
+    assert report["max"] == pytest.approx(1.0)
+    assert report["worst2_mean"] == pytest.approx(0.3)
+    assert 0.0 <= report["gini"] <= 1.0

@@ -1,0 +1,74 @@
+"""ASCII plotting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_plot, plot_histories, sparkline
+from repro.exceptions import ConfigError
+from repro.fl.metrics import History, RoundRecord
+
+
+def test_sparkline_shape_and_extremes():
+    out = sparkline(np.array([0.0, 0.5, 1.0]))
+    assert len(out) == 3
+    assert out[0] == "▁"
+    assert out[-1] == "█"
+
+
+def test_sparkline_constant_series():
+    assert sparkline(np.array([2.0, 2.0, 2.0])) == "▁▁▁"
+
+
+def test_sparkline_empty_raises():
+    with pytest.raises(ConfigError):
+        sparkline(np.array([]))
+
+
+def test_ascii_plot_contains_markers_and_legend():
+    series = {
+        "a": np.array([[0.0, 0.0], [10.0, 1.0]]),
+        "b": np.array([[0.0, 1.0], [10.0, 0.0]]),
+    }
+    out = ascii_plot(series, width=30, height=8)
+    assert "*" in out and "o" in out
+    assert "legend: * a   o b" in out
+    assert out.count("\n") >= 8
+
+
+def test_ascii_plot_y_axis_range():
+    series = {"a": np.array([[0.0, 0.25], [5.0, 0.75]])}
+    out = ascii_plot(series, width=20, height=5, y_label="acc")
+    assert "acc" in out
+    assert "0.750" in out
+    assert "0.250" in out
+
+
+def test_ascii_plot_validation():
+    with pytest.raises(ConfigError):
+        ascii_plot({})
+    with pytest.raises(ConfigError):
+        ascii_plot({"bad": np.zeros((0, 2))})
+    with pytest.raises(ConfigError):
+        ascii_plot({"bad": np.zeros(3)})
+
+
+def _history(accs):
+    hist = History(algorithm="x")
+    for i, acc in enumerate(accs):
+        hist.append(RoundRecord(round_idx=i, train_loss=1.0 - acc, test_accuracy=acc))
+    return hist
+
+
+def test_plot_histories_accuracy_and_loss():
+    histories = {"fedavg": _history([0.1, 0.5, 0.9])}
+    out_acc = plot_histories(histories, metric="accuracy", width=20, height=5)
+    assert "fedavg" in out_acc
+    out_loss = plot_histories(histories, metric="loss", width=20, height=5)
+    assert "legend" in out_loss
+    with pytest.raises(ConfigError):
+        plot_histories(histories, metric="nope")
+
+
+def test_single_point_series_does_not_crash():
+    out = ascii_plot({"p": np.array([[1.0, 0.5]])}, width=10, height=4)
+    assert "legend" in out

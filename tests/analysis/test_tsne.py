@@ -1,0 +1,92 @@
+"""t-SNE and feature-geometry score tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import (
+    class_separation_score,
+    client_feature_discrepancy,
+    tsne,
+)
+from repro.exceptions import ConfigError
+
+
+def _two_blobs(rng, n=30, gap=8.0, dim=10):
+    a = rng.normal(0.0, 1.0, size=(n, dim))
+    b = rng.normal(gap, 1.0, size=(n, dim))
+    return np.vstack([a, b]), np.array([0] * n + [1] * n)
+
+
+def test_tsne_output_shape(rng):
+    x, _y = _two_blobs(rng, n=15)
+    emb = tsne(x, dim=2, iterations=100)
+    assert emb.shape == (30, 2)
+    assert np.all(np.isfinite(emb))
+
+
+def test_tsne_separates_blobs(rng):
+    x, y = _two_blobs(rng, n=25)
+    emb = tsne(x, iterations=250, seed=1)
+    centroid_gap = np.linalg.norm(emb[y == 0].mean(0) - emb[y == 1].mean(0))
+    within = np.linalg.norm(emb[y == 0] - emb[y == 0].mean(0), axis=1).mean()
+    assert centroid_gap > 2 * within
+
+
+def test_tsne_centered(rng):
+    x, _y = _two_blobs(rng, n=10)
+    emb = tsne(x, iterations=60)
+    np.testing.assert_allclose(emb.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_tsne_deterministic_given_seed(rng):
+    x, _y = _two_blobs(rng, n=10)
+    a = tsne(x, iterations=50, seed=4)
+    b = tsne(x, iterations=50, seed=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_tsne_too_few_points():
+    with pytest.raises(ConfigError):
+        tsne(np.zeros((3, 4)))
+
+
+def test_class_separation_orders_clean_vs_mixed(rng):
+    clean_x, clean_y = _two_blobs(rng, gap=10.0)
+    mixed_x, mixed_y = _two_blobs(rng, gap=0.1)
+    assert class_separation_score(clean_x, clean_y) > 3 * class_separation_score(
+        mixed_x, mixed_y
+    )
+
+
+def test_class_separation_needs_two_classes(rng):
+    with pytest.raises(ConfigError):
+        class_separation_score(rng.normal(size=(10, 3)), np.zeros(10))
+
+
+def test_client_discrepancy_zero_when_clients_agree(rng):
+    feats = rng.normal(size=(40, 6))
+    labels = rng.integers(0, 2, 40)
+    # Two clients drawn from the *same* distribution.
+    disc = client_feature_discrepancy(
+        [feats[:20], feats[20:]], [labels[:20], labels[20:]]
+    )
+    shifted = client_feature_discrepancy(
+        [feats[:20], feats[20:] + 5.0], [labels[:20], labels[20:]]
+    )
+    assert disc < shifted
+
+
+def test_client_discrepancy_handles_missing_classes(rng):
+    """Clients with label-skewed shards (the Fig. 1 scenario) — classes
+    missing on a client are simply skipped."""
+    feats_a = rng.normal(size=(10, 4))
+    feats_b = rng.normal(size=(10, 4))
+    disc = client_feature_discrepancy(
+        [feats_a, feats_b], [np.zeros(10, dtype=int), np.ones(10, dtype=int)]
+    )
+    assert disc == 0.0  # no shared classes -> nothing to compare
+
+
+def test_client_discrepancy_validates(rng):
+    with pytest.raises(ConfigError):
+        client_feature_discrepancy([rng.normal(size=(5, 2))], [])

@@ -1,0 +1,69 @@
+"""CORAL distance and multi-kernel MMD tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.coral import coral_distance, mean_and_coral_distance
+from repro.core.mmd import linear_mmd, multi_kernel_mmd
+from repro.exceptions import DataError
+
+
+def test_coral_zero_on_identical(rng):
+    x = rng.normal(size=(50, 4))
+    assert coral_distance(x, x) == pytest.approx(0.0)
+
+
+def test_coral_symmetric(rng):
+    x = rng.normal(size=(40, 3))
+    y = rng.normal(2.0, 3.0, size=(40, 3))
+    assert coral_distance(x, y) == pytest.approx(coral_distance(y, x))
+
+
+def test_coral_detects_covariance_shift_linear_mmd_misses(rng):
+    """The complementary failure mode: same mean, different covariance."""
+    x = rng.normal(0.0, 0.3, size=(2000, 3))
+    y = rng.normal(0.0, 3.0, size=(2000, 3))
+    assert linear_mmd(x, y) < 0.3
+    assert coral_distance(x, y) > 1.0
+
+
+def test_coral_mean_shift_invisible(rng):
+    """CORAL only sees second-order structure — a pure mean shift with
+    identical covariance is (nearly) invisible."""
+    x = rng.normal(0.0, 1.0, size=(3000, 3))
+    y = x + 10.0
+    assert coral_distance(x, y) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_coral_needs_two_samples():
+    with pytest.raises(DataError):
+        coral_distance(np.zeros((1, 3)), np.zeros((5, 3)))
+
+
+def test_combined_distance_sees_both_shifts(rng):
+    x = rng.normal(0.0, 1.0, size=(1000, 3))
+    mean_shift = x + 2.0
+    cov_shift = rng.normal(0.0, 3.0, size=(1000, 3))
+    assert mean_and_coral_distance(x, mean_shift) > 1.0
+    assert mean_and_coral_distance(x, cov_shift) > 1.0
+    assert mean_and_coral_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_multi_kernel_mmd_zero_on_identical(rng):
+    x = rng.normal(size=(30, 4))
+    assert multi_kernel_mmd(x, x) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_multi_kernel_mmd_detects_shift(rng):
+    x = rng.normal(0.0, 1.0, size=(100, 3))
+    y = rng.normal(3.0, 1.0, size=(100, 3))
+    assert multi_kernel_mmd(x, y) > multi_kernel_mmd(x, x + 0.01)
+
+
+def test_multi_kernel_custom_bandwidths(rng):
+    x = rng.normal(size=(20, 2))
+    y = rng.normal(1.0, 1.0, size=(20, 2))
+    value = multi_kernel_mmd(x, y, bandwidths=[0.5, 1.0])
+    assert value > 0
+    with pytest.raises(DataError):
+        multi_kernel_mmd(x, y, bandwidths=[])

@@ -1,0 +1,69 @@
+"""Gaussian delta mechanism tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import GaussianDeltaMechanism
+from repro.exceptions import ConfigError
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        GaussianDeltaMechanism(sigma=-1.0)
+    with pytest.raises(ConfigError):
+        GaussianDeltaMechanism(sigma=1.0, clip_norm=0.0)
+    mech = GaussianDeltaMechanism(sigma=1.0)
+    with pytest.raises(ConfigError):
+        mech.privatize(np.ones(3), batch_size=0)
+
+
+def test_sigma_zero_only_clips():
+    mech = GaussianDeltaMechanism(sigma=0.0, clip_norm=1.0)
+    delta = np.array([3.0, 4.0])  # norm 5 -> clipped to 1
+    out = mech.privatize(delta, batch_size=10)
+    np.testing.assert_allclose(out, [0.6, 0.8])
+
+
+def test_clipping_bounds_norm():
+    mech = GaussianDeltaMechanism(sigma=0.0, clip_norm=2.0)
+    out = mech.privatize(np.full(10, 100.0), batch_size=5)
+    assert np.linalg.norm(out) <= 2.0 + 1e-9
+
+
+def test_small_vectors_not_clipped():
+    mech = GaussianDeltaMechanism(sigma=0.0, clip_norm=10.0)
+    delta = np.array([0.1, 0.2])
+    np.testing.assert_array_equal(mech.privatize(delta, 5), delta)
+
+
+def test_noise_std_scales_with_sigma_and_batch():
+    mech = GaussianDeltaMechanism(sigma=4.0, clip_norm=2.0)
+    assert mech.noise_std(batch_size=8) == pytest.approx(1.0)
+    assert mech.noise_std(batch_size=80) == pytest.approx(0.1)
+
+
+def test_empirical_noise_std_matches():
+    mech = GaussianDeltaMechanism(sigma=5.0, clip_norm=1.0, seed=0)
+    delta = np.zeros(20000)
+    out = mech.privatize(delta, batch_size=10)
+    assert abs(out.std() - 0.5) < 0.01
+
+
+def test_noise_is_seeded_deterministic():
+    a = GaussianDeltaMechanism(sigma=1.0, seed=3).privatize(np.zeros(5), 2)
+    b = GaussianDeltaMechanism(sigma=1.0, seed=3).privatize(np.zeros(5), 2)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_consecutive_calls_draw_fresh_noise():
+    mech = GaussianDeltaMechanism(sigma=1.0, seed=3)
+    a = mech.privatize(np.zeros(5), 2)
+    b = mech.privatize(np.zeros(5), 2)
+    assert not np.array_equal(a, b)
+
+
+def test_input_not_mutated():
+    mech = GaussianDeltaMechanism(sigma=1.0, clip_norm=0.5)
+    delta = np.array([3.0, 4.0])
+    mech.privatize(delta, 10)
+    np.testing.assert_array_equal(delta, [3.0, 4.0])

@@ -1,0 +1,69 @@
+"""Dataset cache tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_synth_mnist
+from repro.data.cache import cached_dataset, clear_cache, _cache_key
+from repro.exceptions import DataError
+
+
+def _generator(seed=0):
+    return lambda: make_synth_mnist(num_train=40, num_test=10, seed=seed)
+
+
+def test_miss_then_hit(tmp_path):
+    calls = []
+
+    def generator():
+        calls.append(1)
+        return make_synth_mnist(num_train=40, num_test=10, seed=1)
+
+    params = {"num_train": 40, "seed": 1}
+    spec1, train1, test1 = cached_dataset(str(tmp_path), "mnist", params, generator)
+    spec2, train2, test2 = cached_dataset(str(tmp_path), "mnist", params, generator)
+    assert len(calls) == 1  # second call served from disk
+    np.testing.assert_array_equal(train1.x, train2.x)
+    np.testing.assert_array_equal(test1.y, test2.y)
+    assert spec1 == spec2
+
+
+def test_different_params_different_entries(tmp_path):
+    a = cached_dataset(str(tmp_path), "mnist", {"seed": 1}, _generator(1))
+    b = cached_dataset(str(tmp_path), "mnist", {"seed": 2}, _generator(2))
+    assert not np.array_equal(a[1].x, b[1].x)
+
+
+def test_cache_key_stable_and_distinct():
+    assert _cache_key("m", {"a": 1, "b": 2}) == _cache_key("m", {"b": 2, "a": 1})
+    assert _cache_key("m", {"a": 1}) != _cache_key("m", {"a": 2})
+    assert _cache_key("m", {"a": 1}) != _cache_key("n", {"a": 1})
+
+
+def test_spec_roundtrip_preserves_fields(tmp_path):
+    spec, _train, _test = cached_dataset(
+        str(tmp_path), "mnist", {"seed": 3}, _generator(3)
+    )
+    spec2, _t, _te = cached_dataset(str(tmp_path), "mnist", {"seed": 3}, _generator(3))
+    assert spec2.name == spec.name
+    assert spec2.input_shape == spec.input_shape
+    assert spec2.num_classes == spec.num_classes
+    assert spec2.vocab_size is None
+
+
+def test_corrupt_cache_raises(tmp_path):
+    params = {"seed": 4}
+    cached_dataset(str(tmp_path), "mnist", params, _generator(4))
+    path = tmp_path / _cache_key("mnist", params)
+    path.write_bytes(b"garbage")
+    with pytest.raises((DataError, Exception)):
+        cached_dataset(str(tmp_path), "mnist", params, _generator(4))
+
+
+def test_clear_cache(tmp_path):
+    cached_dataset(str(tmp_path), "a", {"s": 1}, _generator(1))
+    cached_dataset(str(tmp_path), "b", {"s": 1}, _generator(2))
+    assert clear_cache(str(tmp_path), name="a") == 1
+    assert clear_cache(str(tmp_path)) == 1  # only 'b' remains
+    assert clear_cache(str(tmp_path)) == 0
+    assert clear_cache(str(tmp_path / "missing")) == 0

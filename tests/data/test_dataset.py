@@ -1,0 +1,98 @@
+"""ArrayDataset / DatasetSpec / FederatedDataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DatasetSpec, FederatedDataset
+from repro.exceptions import DataError
+
+
+def _dataset(n=10, dim=3, seed=0):
+    gen = np.random.default_rng(seed)
+    return ArrayDataset(gen.normal(size=(n, dim)), gen.integers(0, 2, n))
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(DataError):
+        ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_subset_selects_rows():
+    ds = _dataset(10)
+    sub = ds.subset(np.array([1, 3]))
+    assert len(sub) == 2
+    np.testing.assert_array_equal(sub.x[0], ds.x[1])
+
+
+def test_split_fractions(rng):
+    first, second = _dataset(100).split(0.8, rng)
+    assert len(first) == 80
+    assert len(second) == 20
+
+
+def test_split_invalid_frac(rng):
+    with pytest.raises(DataError):
+        _dataset().split(0.0, rng)
+    with pytest.raises(DataError):
+        _dataset().split(1.0, rng)
+
+
+def test_batches_cover_everything_once(rng):
+    ds = _dataset(10)
+    seen = sum(len(y) for _x, y in ds.batches(3, rng))
+    assert seen == 10
+
+
+def test_batches_without_rng_are_ordered():
+    ds = _dataset(6)
+    x, _y = next(iter(ds.batches(3)))
+    np.testing.assert_array_equal(x, ds.x[:3])
+
+
+def test_batches_invalid_size():
+    with pytest.raises(DataError):
+        list(_dataset().batches(0))
+
+
+def test_sample_batch_with_replacement_when_needed(rng):
+    ds = _dataset(3)
+    x, y = ds.sample_batch(10, rng)
+    assert len(y) == 3  # capped at dataset size without replacement path
+    x, y = ds.sample_batch(2, rng)
+    assert len(y) == 2
+
+
+def test_label_counts():
+    ds = ArrayDataset(np.zeros((4, 1)), np.array([0, 0, 2, 1]))
+    np.testing.assert_array_equal(ds.label_counts(4), [2, 1, 1, 0])
+
+
+def test_spec_validation():
+    with pytest.raises(DataError):
+        DatasetSpec("x", "video", (3,), 2)
+    with pytest.raises(DataError):
+        DatasetSpec("x", "sequence", (3,), 2)  # missing vocab
+    spec = DatasetSpec("x", "image", (3, 4, 4), 2)
+    assert spec.flat_dim == 48
+
+
+def test_federated_weights_normalize():
+    clients = [_dataset(10, seed=1), _dataset(30, seed=2)]
+    spec = DatasetSpec("x", "image", (3,), 2)
+    fed = FederatedDataset(spec=spec, clients=clients, test=_dataset(5, seed=3))
+    np.testing.assert_allclose(fed.weights, [0.25, 0.75])
+    assert fed.total_train_samples() == 40
+    assert fed.num_clients == 2
+
+
+def test_federated_empty_client_rejected():
+    spec = DatasetSpec("x", "image", (3,), 2)
+    empty = ArrayDataset(np.zeros((0, 3)), np.zeros(0))
+    with pytest.raises(DataError):
+        FederatedDataset(spec=spec, clients=[_dataset(), empty], test=_dataset())
+
+
+def test_federated_no_clients_rejected():
+    spec = DatasetSpec("x", "image", (3,), 2)
+    with pytest.raises(DataError):
+        FederatedDataset(spec=spec, clients=[], test=_dataset())

@@ -1,0 +1,78 @@
+"""Glyph renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.glyphs import (
+    GLYPH_SET,
+    GlyphStyle,
+    glyph_bitmap,
+    random_style,
+    render_glyph,
+    _dilate,
+    _shear_rows,
+)
+from repro.exceptions import DataError
+
+
+def test_all_glyphs_have_bitmaps():
+    for char in GLYPH_SET:
+        bmp = glyph_bitmap(char)
+        assert bmp.shape == (7, 5)
+        assert bmp.sum() > 0
+
+
+def test_unknown_glyph_raises():
+    with pytest.raises(DataError):
+        glyph_bitmap("?")
+
+
+def test_glyphs_are_distinct():
+    flat = {char: glyph_bitmap(char).tobytes() for char in GLYPH_SET}
+    assert len(set(flat.values())) == len(GLYPH_SET)
+
+
+def test_dilate_thickens():
+    bmp = glyph_bitmap("1")
+    assert _dilate(bmp).sum() > bmp.sum()
+
+
+def test_shear_shifts_rows():
+    img = np.zeros((4, 6))
+    img[:, 2] = 1.0
+    sheared = _shear_rows(img, 1.0)
+    for row in range(4):
+        assert sheared[row, 2 + row] == 1.0
+
+
+def test_render_shape_and_range(rng):
+    style = GlyphStyle(noise=0.2)
+    img = render_glyph("5", 12, style, rng)
+    assert img.shape == (12, 12)
+    assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+def test_render_noise_free_is_clean(rng):
+    style = GlyphStyle(noise=0.0, intensity=1.0)
+    img = render_glyph("8", 12, style, rng, jitter=0)
+    values = np.unique(img)
+    assert set(values).issubset({0.0, 1.0})
+
+
+def test_render_too_big_glyph_raises(rng):
+    style = GlyphStyle(scale=3)
+    with pytest.raises(DataError):
+        render_glyph("0", 12, style, rng)  # 21x15 > 12
+
+
+def test_random_style_fits_canvas(rng):
+    for _ in range(30):
+        style = random_style(rng, canvas_size=12)
+        render_glyph("W", 12, style, rng)  # must not raise
+
+
+def test_same_style_same_seed_is_deterministic():
+    style = GlyphStyle(shear=0.1, thickness=1, noise=0.1)
+    a = render_glyph("3", 12, style, np.random.default_rng(5))
+    b = render_glyph("3", 12, style, np.random.default_rng(5))
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,39 @@
+"""Experiment registry tests."""
+
+import os
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def test_every_paper_table_and_figure_is_registered():
+    expected = {
+        "fig1", "fig2_3", "fig4_5", "fig6_7", "fig8",
+        "fig9a", "fig9b", "fig9c", "fig9d",
+        "fig10ab", "fig10cd", "fig11", "fig12",
+        "table1", "table2", "table3", "theory",
+    }
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_specs_have_bench_files():
+    repo_root = os.path.join(os.path.dirname(__file__), "..", "..")
+    for spec in EXPERIMENTS.values():
+        assert spec.bench, f"{spec.exp_id} has no bench target"
+        path = os.path.normpath(os.path.join(repo_root, spec.bench))
+        assert os.path.exists(path), f"{spec.exp_id}: missing {spec.bench}"
+
+
+def test_specs_reference_real_modules():
+    import importlib
+
+    for spec in EXPERIMENTS.values():
+        for module in spec.modules:
+            importlib.import_module(module)
+
+
+def test_get_experiment():
+    assert get_experiment("table1").paper_ref == "Table I"
+    with pytest.raises(KeyError):
+        get_experiment("table99")

@@ -1,0 +1,124 @@
+"""Asynchronous FL simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.fl.async_sim import AsyncConfig, run_async_federated
+from repro.models import build_mlp
+
+
+def _model_fn(fed, seed=0):
+    return lambda: build_mlp(
+        fed.spec.flat_dim, fed.spec.num_classes, np.random.default_rng(seed), (16,), feature_dim=8
+    )
+
+
+def _speeds(fed, values):
+    return np.array(values[: fed.num_clients], dtype=float)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        AsyncConfig(max_updates=0)
+    with pytest.raises(ConfigError):
+        AsyncConfig(alpha=0.0)
+    with pytest.raises(ConfigError):
+        AsyncConfig(staleness_exponent=-1.0)
+
+
+def test_speed_validation(toy_federation):
+    config = AsyncConfig(max_updates=4)
+    with pytest.raises(ConfigError):
+        run_async_federated(
+            toy_federation, _model_fn(toy_federation), np.array([1.0, 2.0]), config
+        )
+    with pytest.raises(ConfigError):
+        run_async_federated(
+            toy_federation, _model_fn(toy_federation),
+            np.array([1.0, -1.0, 1.0, 1.0]), config,
+        )
+
+
+def test_run_produces_requested_updates(toy_federation):
+    config = AsyncConfig(max_updates=12, local_steps=2, batch_size=8, eval_every=4)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 1.0, 1.0, 1.0]), config,
+    )
+    assert len(history.records) == 12
+    assert history.final_accuracy is not None
+    assert history.records[-1].test_accuracy is not None
+
+
+def test_fast_clients_contribute_more_updates(toy_federation):
+    config = AsyncConfig(max_updates=30, local_steps=1, batch_size=8)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 10.0, 10.0, 10.0]), config,
+    )
+    counts = history.client_update_counts(4)
+    assert counts[0] > counts[1:].max()
+
+
+def test_slow_clients_accumulate_staleness(toy_federation):
+    # Enough updates that the 8x-slower client completes several rounds.
+    config = AsyncConfig(max_updates=60, local_steps=1, batch_size=8)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 8.0, 1.0, 1.0]), config,
+    )
+    slow_staleness = [r.staleness for r in history.records if r.client_id == 1]
+    fast_staleness = [r.staleness for r in history.records if r.client_id == 0]
+    assert slow_staleness, "slow client never completed — sim too short"
+    assert max(slow_staleness) > max(fast_staleness)
+
+
+def test_staleness_discount_weighting(toy_federation):
+    config = AsyncConfig(max_updates=25, local_steps=1, batch_size=8,
+                         alpha=0.8, staleness_exponent=1.0)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 9.0, 1.0, 1.0]), config,
+    )
+    for record in history.records:
+        expected = 0.8 / (1.0 + record.staleness)
+        assert record.effective_weight == pytest.approx(expected)
+
+
+def test_zero_exponent_ignores_staleness(toy_federation):
+    config = AsyncConfig(max_updates=10, local_steps=1, batch_size=8,
+                         alpha=0.5, staleness_exponent=0.0)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 7.0, 1.0, 1.0]), config,
+    )
+    assert all(r.effective_weight == pytest.approx(0.5) for r in history.records)
+
+
+def test_sim_time_monotone(toy_federation):
+    config = AsyncConfig(max_updates=15, local_steps=1, batch_size=8)
+    history = run_async_federated(
+        toy_federation, _model_fn(toy_federation),
+        _speeds(toy_federation, [1.0, 2.0, 3.0, 4.0]), config,
+    )
+    sim_times = [r.sim_time for r in history.records]
+    assert all(a <= b for a, b in zip(sim_times, sim_times[1:]))
+
+
+def test_async_learns_on_iid(iid_federation):
+    config = AsyncConfig(max_updates=80, local_steps=3, batch_size=16,
+                         lr=0.2, alpha=0.5, eval_every=20)
+    history = run_async_federated(
+        iid_federation, _model_fn(iid_federation),
+        _speeds(iid_federation, [1.0, 1.2, 0.9, 1.1]), config,
+    )
+    assert history.final_accuracy > 0.45
+
+
+def test_deterministic(toy_federation):
+    config = AsyncConfig(max_updates=8, local_steps=1, batch_size=8)
+    speeds = _speeds(toy_federation, [1.0, 2.0, 1.5, 1.2])
+    a = run_async_federated(toy_federation, _model_fn(toy_federation), speeds, config)
+    b = run_async_federated(toy_federation, _model_fn(toy_federation), speeds, config)
+    assert [r.train_loss for r in a.records] == [r.train_loss for r in b.records]

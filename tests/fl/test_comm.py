@@ -1,0 +1,58 @@
+"""Communication ledger tests."""
+
+import numpy as np
+import pytest
+
+from repro.fl.comm import CommLedger, vector_bytes
+
+
+def test_vector_bytes():
+    assert vector_bytes(100, 4) == 400
+    assert vector_bytes(100, 8) == 800
+
+
+def test_charge_accumulates_by_direction_and_kind():
+    ledger = CommLedger(dtype_bytes=4)
+    ledger.charge(CommLedger.DOWN, "model", 10, copies=3)
+    ledger.charge(CommLedger.UP, "delta", 5)
+    totals = ledger.end_round()
+    assert totals["down:model"] == 120
+    assert totals["down"] == 120
+    assert totals["up:delta"] == 20
+    assert totals["up"] == 20
+
+
+def test_invalid_direction():
+    with pytest.raises(ValueError):
+        CommLedger().charge("sideways", "model", 10)
+
+
+def test_rounds_are_isolated():
+    ledger = CommLedger(dtype_bytes=1)
+    ledger.charge(CommLedger.DOWN, "model", 10)
+    ledger.end_round()
+    ledger.charge(CommLedger.DOWN, "model", 20)
+    ledger.end_round()
+    assert ledger.rounds == 2
+    assert ledger.round_bytes(0)["down"] == 10
+    assert ledger.round_bytes(1)["down"] == 20
+    assert ledger.total() == 30
+    assert ledger.total("down") == 30
+    assert ledger.total("up") == 0
+
+
+def test_per_round_series():
+    ledger = CommLedger(dtype_bytes=1)
+    for size in [5, 7, 9]:
+        ledger.charge(CommLedger.UP, "model", size)
+        ledger.end_round()
+    np.testing.assert_array_equal(ledger.per_round_series("up"), [5, 7, 9])
+    np.testing.assert_array_equal(ledger.per_round_series("down"), [0, 0, 0])
+
+
+def test_total_counts_both_directions():
+    ledger = CommLedger(dtype_bytes=1)
+    ledger.charge(CommLedger.UP, "model", 3)
+    ledger.charge(CommLedger.DOWN, "model", 4)
+    ledger.end_round()
+    assert ledger.total() == 7

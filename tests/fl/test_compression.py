@@ -1,0 +1,143 @@
+"""Compression strategy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ConfigError
+from repro.fl.compression import (
+    NoCompression,
+    RandomSubsampler,
+    TopKSparsifier,
+    UniformQuantizer,
+    make_compressor,
+)
+
+vectors = hnp.arrays(np.float64, st.integers(4, 100), elements=st.floats(-100, 100))
+
+
+def test_no_compression_identity(rng):
+    vec = rng.normal(size=50)
+    recon, wire = NoCompression().compress(vec, rng)
+    np.testing.assert_array_equal(recon, vec)
+    assert wire == 50
+
+
+def test_topk_keeps_largest(rng):
+    vec = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+    recon, wire = TopKSparsifier(0.4).compress(vec, rng)
+    np.testing.assert_array_equal(recon, [0.0, -5.0, 0.0, 3.0, 0.0])
+    assert wire == 4  # 2 kept coords x (value + index)
+
+
+@given(vectors, st.floats(0.05, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_topk_properties(vec, ratio):
+    rng = np.random.default_rng(0)
+    recon, wire = TopKSparsifier(ratio).compress(vec, rng)
+    k = max(1, int(round(ratio * vec.size)))
+    assert (recon != 0).sum() <= k
+    assert wire == 2 * k
+    # Kept values are unchanged.
+    mask = recon != 0
+    np.testing.assert_array_equal(recon[mask], vec[mask])
+
+
+def test_subsample_unbiased(rng):
+    vec = np.ones(100)
+    recons = [RandomSubsampler(0.2).compress(vec, rng)[0] for _ in range(400)]
+    mean = np.mean(recons, axis=0)
+    # Unbiased in expectation: the grand mean converges fast, the
+    # per-coordinate means within Monte-Carlo noise (std ~ 0.1 here).
+    assert abs(mean.mean() - 1.0) < 0.02
+    assert np.abs(mean - 1.0).max() < 0.5
+
+
+def test_subsample_wire_size(rng):
+    vec = np.ones(100)
+    _recon, wire = RandomSubsampler(0.1).compress(vec, rng)
+    assert wire == 20
+
+
+def test_quantizer_reconstruction_within_step(rng):
+    vec = rng.normal(size=200)
+    recon, _wire = UniformQuantizer(8).compress(vec, rng)
+    step = (vec.max() - vec.min()) / 255
+    assert np.abs(recon - vec).max() <= step + 1e-12
+
+
+def test_quantizer_unbiased(rng):
+    vec = np.array([0.0, 0.3, 0.7, 1.0])
+    recons = [UniformQuantizer(1).compress(vec, rng)[0] for _ in range(3000)]
+    np.testing.assert_allclose(np.mean(recons, axis=0), vec, atol=0.05)
+
+
+def test_quantizer_constant_vector(rng):
+    recon, wire = UniformQuantizer(8).compress(np.full(10, 3.0), rng)
+    np.testing.assert_array_equal(recon, 3.0)
+    assert wire == 2
+
+
+def test_quantizer_wire_size(rng):
+    _recon, wire = UniformQuantizer(8).compress(np.ones(320) + np.arange(320), rng)
+    assert wire == 2 + 80  # 320 coords * 8 bits / 32-bit scalars
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (TopKSparsifier, {"ratio": 0.0}),
+    (TopKSparsifier, {"ratio": 1.5}),
+    (RandomSubsampler, {"ratio": 0.0}),
+    (UniformQuantizer, {"bits": 0}),
+    (UniformQuantizer, {"bits": 32}),
+])
+def test_invalid_configs(cls, kwargs):
+    with pytest.raises(ConfigError):
+        cls(**kwargs)
+
+
+def test_factory():
+    assert isinstance(make_compressor("none"), NoCompression)
+    assert isinstance(make_compressor("topk", ratio=0.1), TopKSparsifier)
+    assert isinstance(make_compressor("quantize", bits=4), UniformQuantizer)
+    with pytest.raises(ConfigError):
+        make_compressor("zip")
+
+
+def test_compressed_fedavg_reduces_uplink(toy_federation, fast_config):
+    from repro.algorithms import FedAvg
+    from repro.fl.trainer import run_federated
+    from repro.models import build_mlp
+
+    def model_fn():
+        return build_mlp(
+            toy_federation.spec.flat_dim, toy_federation.spec.num_classes,
+            np.random.default_rng(0), (16,), feature_dim=8,
+        )
+
+    plain = FedAvg()
+    run_federated(plain, toy_federation, model_fn, fast_config)
+    compressed = FedAvg().with_compressor(TopKSparsifier(0.05))
+    run_federated(compressed, toy_federation, model_fn, fast_config)
+    assert compressed.ledger.total("up:model") < 0.2 * plain.ledger.total("up:model")
+    # Downlink unchanged (server still broadcasts the dense model).
+    assert compressed.ledger.total("down:model") == plain.ledger.total("down:model")
+
+
+def test_compressed_fedavg_still_learns(iid_federation):
+    from repro.algorithms import FedAvg
+    from repro.fl.config import FLConfig
+    from repro.fl.trainer import run_federated
+    from repro.models import build_mlp
+
+    def model_fn():
+        return build_mlp(
+            iid_federation.spec.flat_dim, iid_federation.spec.num_classes,
+            np.random.default_rng(0), (16,), feature_dim=8,
+        )
+
+    config = FLConfig(rounds=20, local_steps=4, batch_size=16, lr=0.3, eval_every=5, seed=0)
+    alg = FedAvg().with_compressor(TopKSparsifier(0.25))
+    history = run_federated(alg, iid_federation, model_fn, config)
+    assert history.final_accuracy > 0.45

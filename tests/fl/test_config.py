@@ -1,0 +1,47 @@
+"""FLConfig validation tests."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+
+
+def test_defaults_valid():
+    config = FLConfig()
+    assert config.rounds == 30
+    assert config.sample_ratio == 1.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rounds": 0},
+        {"local_steps": 0},
+        {"batch_size": 0},
+        {"sample_ratio": 0.0},
+        {"sample_ratio": 1.5},
+        {"eval_every": 0},
+    ],
+)
+def test_invalid_fields_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        FLConfig(**kwargs)
+
+
+def test_with_updates_returns_new_config():
+    config = FLConfig(rounds=10)
+    updated = config.with_updates(rounds=20, lr=0.5)
+    assert updated.rounds == 20
+    assert updated.lr == 0.5
+    assert config.rounds == 10  # original untouched
+
+
+def test_with_updates_validates():
+    with pytest.raises(ConfigError):
+        FLConfig().with_updates(rounds=-1)
+
+
+def test_config_is_frozen():
+    config = FLConfig()
+    with pytest.raises(Exception):
+        config.rounds = 99

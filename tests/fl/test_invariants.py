@@ -1,0 +1,75 @@
+"""Property-based invariants of the federated runtime."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.server import weighted_average
+
+
+@given(st.integers(1, 8), st.integers(1, 10), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_aggregating_identical_vectors_is_identity(count, dim, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=dim)
+    weights = rng.uniform(0.1, 5.0, size=count)
+    out = weighted_average([vec.copy() for _ in range(count)], weights)
+    np.testing.assert_allclose(out, vec, atol=1e-12)
+
+
+@given(st.integers(2, 8), st.integers(1, 10), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_aggregation_invariant_to_client_order(count, dim, seed):
+    rng = np.random.default_rng(seed)
+    vectors = [rng.normal(size=dim) for _ in range(count)]
+    weights = rng.uniform(0.1, 5.0, size=count)
+    out = weighted_average(vectors, weights)
+    perm = rng.permutation(count)
+    out_permuted = weighted_average([vectors[i] for i in perm], weights[perm])
+    np.testing.assert_allclose(out, out_permuted, atol=1e-12)
+
+
+@given(st.integers(1, 6), st.integers(1, 8), st.floats(0.1, 10.0), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_aggregation_is_linear(count, dim, scale, seed):
+    """agg(a*v) = a*agg(v) — aggregation commutes with scaling."""
+    rng = np.random.default_rng(seed)
+    vectors = [rng.normal(size=dim) for _ in range(count)]
+    weights = rng.uniform(0.1, 5.0, size=count)
+    out = weighted_average(vectors, weights)
+    scaled = weighted_average([scale * v for v in vectors], weights)
+    np.testing.assert_allclose(scaled, scale * out, rtol=1e-10, atol=1e-10)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_delta_table_loo_mean_identity(seed):
+    """With all clients reported, the leave-one-out averages satisfy
+    N * mean(all) = delta_k + (N-1) * mean_of_others(k) for every k."""
+    from repro.core.delta import DeltaTable
+
+    rng = np.random.default_rng(seed)
+    n, dim = int(rng.integers(2, 8)), int(rng.integers(1, 6))
+    table = DeltaTable(n, dim)
+    deltas = rng.normal(size=(n, dim))
+    for k in range(n):
+        table.update(k, deltas[k])
+    full_mean = deltas.mean(axis=0)
+    for k in range(n):
+        reconstructed = (deltas[k] + (n - 1) * table.mean_of_others(k)) / n
+        np.testing.assert_allclose(reconstructed, full_mean, atol=1e-12)
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_regularizer_loss_scale_invariance_in_lambda(seed):
+    """Doubling lambda exactly doubles both the loss and the gradient."""
+    from repro.core.regularizer import DistributionRegularizer
+
+    rng = np.random.default_rng(seed)
+    feats = rng.normal(size=(5, 4))
+    target = rng.normal(size=4)
+    one = DistributionRegularizer(0.3, mode="loo").evaluate(feats, target)
+    two = DistributionRegularizer(0.6, mode="loo").evaluate(feats, target)
+    np.testing.assert_allclose(two.loss, 2 * one.loss, rtol=1e-12)
+    np.testing.assert_allclose(two.feature_grad, 2 * one.feature_grad, rtol=1e-12)

@@ -1,0 +1,57 @@
+"""Network cost model tests."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.fl.comm import CommLedger
+from repro.fl.network import LinkModel, estimate_run_network_time, round_network_time
+
+
+def test_link_validation():
+    with pytest.raises(ConfigError):
+        LinkModel(server_bandwidth_bps=0)
+    with pytest.raises(ConfigError):
+        LinkModel(latency_sec=-1.0)
+
+
+def test_round_time_components():
+    link = LinkModel(server_bandwidth_bps=100.0, client_bandwidth_bps=10.0, latency_sec=0.5)
+    # 200 B down at 100 B/s = 2 s; 50 B/client up at 10 B/s = 1 s; 2*0.5 latency.
+    t = round_network_time(bytes_down=200, bytes_up=250, num_clients=5, link=link)
+    assert t == pytest.approx(2.0 + 5.0 + 1.0)
+
+
+def test_latency_scales_with_sync_phases():
+    link = LinkModel(latency_sec=0.1)
+    single = round_network_time(0, 0, 4, link, sync_phases=1)
+    double = round_network_time(0, 0, 4, link, sync_phases=2)
+    assert double == pytest.approx(2 * single)
+
+
+def test_invalid_clients():
+    with pytest.raises(ConfigError):
+        round_network_time(1, 1, 0, LinkModel())
+
+
+def test_estimate_from_ledger():
+    ledger = CommLedger(dtype_bytes=1)
+    for _ in range(3):
+        ledger.charge(CommLedger.DOWN, "model", 1000)
+        ledger.charge(CommLedger.UP, "model", 1000)
+        ledger.end_round()
+    link = LinkModel(server_bandwidth_bps=1000.0, client_bandwidth_bps=100.0, latency_sec=0.0)
+    total = estimate_run_network_time(ledger, num_clients=10, link=link)
+    # Per round: 1 s down + (100 B/client / 100 B/s) = 1 s -> 2 s; x3 rounds.
+    assert total == pytest.approx(6.0)
+
+
+def test_bigger_payload_costs_more():
+    ledger_small = CommLedger(dtype_bytes=1)
+    ledger_small.charge(CommLedger.DOWN, "model", 10)
+    ledger_small.end_round()
+    ledger_big = CommLedger(dtype_bytes=1)
+    ledger_big.charge(CommLedger.DOWN, "model", 10_000_000)
+    ledger_big.end_round()
+    assert estimate_run_network_time(ledger_big, 5) > estimate_run_network_time(
+        ledger_small, 5
+    )

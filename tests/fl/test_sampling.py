@@ -1,0 +1,46 @@
+"""Client sampling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.fl.sampling import sample_clients
+
+
+def test_full_participation_returns_everyone(rng):
+    np.testing.assert_array_equal(sample_clients(7, 1.0, rng), np.arange(7))
+
+
+@given(st.integers(2, 200), st.floats(0.01, 0.99), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_partial_sampling_properties(n, sr, seed):
+    rng = np.random.default_rng(seed)
+    selected = sample_clients(n, sr, rng)
+    assert len(selected) == max(1, int(round(sr * n)))
+    assert len(np.unique(selected)) == len(selected)  # no replacement
+    assert selected.min() >= 0 and selected.max() < n
+    assert np.all(np.diff(selected) > 0)  # sorted
+
+
+def test_at_least_one_client(rng):
+    assert len(sample_clients(100, 0.001, rng)) == 1
+
+
+def test_sampling_is_uniform_over_time():
+    rng = np.random.default_rng(0)
+    counts = np.zeros(10)
+    for _ in range(2000):
+        counts[sample_clients(10, 0.2, rng)] += 1
+    freq = counts / counts.sum()
+    assert np.all(np.abs(freq - 0.1) < 0.02)
+
+
+def test_invalid_inputs(rng):
+    with pytest.raises(ConfigError):
+        sample_clients(10, 0.0, rng)
+    with pytest.raises(ConfigError):
+        sample_clients(10, 1.5, rng)
+    with pytest.raises(ConfigError):
+        sample_clients(0, 0.5, rng)

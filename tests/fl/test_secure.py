@@ -1,0 +1,78 @@
+"""Secure aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.fl.secure import SecureAggregator, secure_weighted_average
+from repro.fl.server import weighted_average
+
+
+def test_masks_cancel_exactly(rng):
+    participants = [0, 1, 2, 3]
+    updates = [rng.normal(size=10) for _ in participants]
+    agg = SecureAggregator(round_seed=7)
+    masked = [agg.mask_update(cid, participants, u) for cid, u in zip(participants, updates)]
+    total = agg.aggregate(masked)
+    np.testing.assert_allclose(total, np.sum(updates, axis=0), atol=1e-9)
+
+
+def test_individual_uploads_look_random(rng):
+    participants = [0, 1, 2]
+    update = np.zeros(50)  # nothing to hide, yet the upload is noise
+    agg = SecureAggregator(round_seed=3, mask_scale=100.0)
+    masked = agg.mask_update(0, participants, update)
+    assert np.linalg.norm(masked) > 100.0  # drowned in mask noise
+
+
+def test_pair_masks_are_symmetric_secrets():
+    agg = SecureAggregator(round_seed=5)
+    a = agg._pair_mask(1, 4, 8)
+    b = agg._pair_mask(1, 4, 8)
+    np.testing.assert_array_equal(a, b)  # both parties derive the same mask
+    with pytest.raises(ProtocolError):
+        agg._pair_mask(4, 1, 8)
+
+
+def test_different_rounds_different_masks():
+    a = SecureAggregator(round_seed=1)._pair_mask(0, 1, 8)
+    b = SecureAggregator(round_seed=2)._pair_mask(0, 1, 8)
+    assert not np.array_equal(a, b)
+
+
+def test_nonparticipant_rejected(rng):
+    agg = SecureAggregator(round_seed=0)
+    with pytest.raises(ProtocolError):
+        agg.mask_update(9, [0, 1], rng.normal(size=4))
+
+
+def test_empty_aggregate_rejected():
+    with pytest.raises(ProtocolError):
+        SecureAggregator(0).aggregate([])
+
+
+def test_secure_weighted_average_matches_plain(rng):
+    participants = [2, 5, 7]
+    updates = [rng.normal(size=20) for _ in participants]
+    weights = np.array([10.0, 30.0, 60.0])
+    secure = secure_weighted_average(updates, weights, participants, round_seed=11)
+    plain = weighted_average(updates, weights)
+    np.testing.assert_allclose(secure, plain, atol=1e-9)
+
+
+def test_secure_weighted_average_validation(rng):
+    with pytest.raises(ProtocolError):
+        secure_weighted_average([np.zeros(2)], np.array([1.0, 2.0]), [0], 0)
+    with pytest.raises(ProtocolError):
+        secure_weighted_average([np.zeros(2)], np.array([0.0]), [0], 0)
+
+
+def test_single_participant_no_masking(rng):
+    update = rng.normal(size=5)
+    out = secure_weighted_average([update], np.array([3.0]), [4], round_seed=9)
+    np.testing.assert_allclose(out, update)
+
+
+def test_mask_scale_validation():
+    with pytest.raises(ProtocolError):
+        SecureAggregator(0, mask_scale=0.0)

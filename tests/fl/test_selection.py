@@ -1,0 +1,113 @@
+"""Client selection strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+from repro.fl.selection import (
+    PowerOfChoiceSelector,
+    SelectionContext,
+    UniformSelector,
+)
+from repro.fl.trainer import run_federated
+from repro.models import build_mlp
+
+
+def _context(fed, losses, seed=0):
+    return SelectionContext(
+        round_idx=0,
+        fed=fed,
+        rng=np.random.default_rng(seed),
+        client_loss=lambda cid: losses[cid],
+    )
+
+
+def test_uniform_full_participation(toy_federation):
+    ctx = _context(toy_federation, [0.0] * 4)
+    np.testing.assert_array_equal(
+        UniformSelector(1.0).select(ctx), np.arange(4)
+    )
+
+
+def test_uniform_partial_sizes(toy_federation):
+    ctx = _context(toy_federation, [0.0] * 4)
+    selected = UniformSelector(0.5).select(ctx)
+    assert len(selected) == 2
+    assert len(np.unique(selected)) == 2
+
+
+def test_power_of_choice_prefers_high_loss(toy_federation):
+    losses = [0.1, 9.0, 0.2, 8.0]  # clients 1 and 3 are struggling
+    selector = PowerOfChoiceSelector(0.5, candidate_factor=2.0)
+    ctx = _context(toy_federation, losses)
+    selected = selector.select(ctx)
+    # With the candidate pool covering all 4 clients, the two selected
+    # must be the two highest-loss ones.
+    np.testing.assert_array_equal(selected, [1, 3])
+
+
+def test_power_of_choice_pool_capped_at_n(toy_federation):
+    selector = PowerOfChoiceSelector(1.0, candidate_factor=10.0)
+    ctx = _context(toy_federation, [1.0] * 4)
+    selected = selector.select(ctx)
+    assert len(selected) == 4
+
+
+def test_power_of_choice_validation():
+    with pytest.raises(ConfigError):
+        PowerOfChoiceSelector(0.5, candidate_factor=0.5)
+
+
+def test_invalid_ratio_raises(toy_federation):
+    ctx = _context(toy_federation, [0.0] * 4)
+    with pytest.raises(ConfigError):
+        UniformSelector(1.5).select(ctx)
+
+
+def test_trainer_accepts_selector(toy_federation):
+    config = FLConfig(rounds=3, local_steps=2, batch_size=8, lr=0.1,
+                      sample_ratio=0.5, seed=1)
+
+    def model_fn():
+        return build_mlp(
+            toy_federation.spec.flat_dim, toy_federation.spec.num_classes,
+            np.random.default_rng(0), (16,), feature_dim=8,
+        )
+
+    selector = PowerOfChoiceSelector(0.5, candidate_factor=2.0)
+    history = run_federated(
+        FedAvg(), toy_federation, model_fn, config, selector=selector
+    )
+    assert len(history.records) == 3
+    assert all(r.num_selected == 2 for r in history.records)
+
+
+def test_power_of_choice_targets_struggling_clients_in_training(toy_federation):
+    """Over a run, loss-biased selection should visit the high-loss
+    clients at least as often as uniform selection does."""
+    config = FLConfig(rounds=8, local_steps=2, batch_size=8, lr=0.05,
+                      sample_ratio=0.25, seed=3)
+
+    def model_fn():
+        return build_mlp(
+            toy_federation.spec.flat_dim, toy_federation.spec.num_classes,
+            np.random.default_rng(0), (16,), feature_dim=8,
+        )
+
+    counts = np.zeros(4)
+    original_select = PowerOfChoiceSelector.select
+
+    class CountingSelector(PowerOfChoiceSelector):
+        def select(self, context):
+            chosen = original_select(self, context)
+            counts[chosen] += 1
+            return chosen
+
+    run_federated(
+        FedAvg(), toy_federation, model_fn, config,
+        selector=CountingSelector(0.25, candidate_factor=4.0),
+    )
+    assert counts.sum() == 8  # one client per round
+    assert counts.max() >= 2  # concentrates on hard clients

@@ -1,0 +1,57 @@
+"""Aggregation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.fl.server import weighted_average
+
+
+def test_equal_weights_is_mean():
+    vectors = [np.array([1.0, 0.0]), np.array([3.0, 2.0])]
+    np.testing.assert_allclose(weighted_average(vectors, np.array([1, 1])), [2.0, 1.0])
+
+
+def test_weights_normalize():
+    vectors = [np.zeros(2), np.ones(2)]
+    out = weighted_average(vectors, np.array([1.0, 3.0]))
+    np.testing.assert_allclose(out, [0.75, 0.75])
+    out2 = weighted_average(vectors, np.array([100.0, 300.0]))
+    np.testing.assert_allclose(out, out2)
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 6),
+    st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_average_within_convex_hull(num_vectors, dim, seed):
+    """Property: the weighted average is inside the coordinate-wise hull."""
+    gen = np.random.default_rng(seed)
+    vectors = [gen.normal(size=dim) for _ in range(num_vectors)]
+    weights = gen.uniform(0.1, 2.0, size=num_vectors)
+    out = weighted_average(vectors, weights)
+    stacked = np.stack(vectors)
+    assert np.all(out >= stacked.min(axis=0) - 1e-12)
+    assert np.all(out <= stacked.max(axis=0) + 1e-12)
+
+
+def test_single_vector_identity(rng):
+    v = rng.normal(size=5)
+    np.testing.assert_allclose(weighted_average([v], np.array([7.0])), v)
+
+
+def test_errors():
+    with pytest.raises(ProtocolError):
+        weighted_average([], np.array([]))
+    with pytest.raises(ProtocolError):
+        weighted_average([np.zeros(2)], np.array([1.0, 2.0]))
+    with pytest.raises(ProtocolError):
+        weighted_average([np.zeros(2), np.zeros(3)], np.array([1.0, 1.0]))
+    with pytest.raises(ProtocolError):
+        weighted_average([np.zeros(2)], np.array([-1.0]))
+    with pytest.raises(ProtocolError):
+        weighted_average([np.zeros(2)], np.array([0.0]))

@@ -1,0 +1,89 @@
+"""Conv2d and im2col tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.conv import col2im, im2col
+from repro.nn.losses import SoftmaxCrossEntropy
+from tests.helpers import model_gradcheck
+
+
+def _naive_conv(x, weight, bias, stride, padding):
+    """Reference direct convolution for correctness comparison."""
+    batch, _cin, h, w = x.shape
+    cout, cin, k, _ = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((batch, cout, oh, ow))
+    for b in range(batch):
+        for o in range(cout):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[b, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[b, o, i, j] = (patch * weight[o]).sum() + bias[o]
+    return out
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+def test_forward_matches_naive(rng, stride, padding):
+    layer = nn.Conv2d(2, 3, kernel_size=3, stride=stride, padding=padding, rng=rng)
+    x = rng.normal(size=(2, 2, 7, 7))
+    out = layer(x)
+    expected = _naive_conv(x, layer.weight.data, layer.bias.data, stride, padding)
+    np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+def test_output_shape(rng):
+    layer = nn.Conv2d(1, 4, kernel_size=5, padding=2, rng=rng)
+    out = layer(rng.normal(size=(3, 1, 12, 12)))
+    assert out.shape == (3, 4, 12, 12)
+
+
+def test_im2col_col2im_adjointness(rng):
+    """col2im is the transpose of im2col: <im2col(x), c> == <x, col2im(c)>."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols, oh, ow = im2col(x, kernel=3, stride=1, padding=1)
+    c = rng.normal(size=cols.shape)
+    lhs = float((cols * c).sum())
+    back = col2im(c, x.shape, kernel=3, stride=1, padding=1, out_h=oh, out_w=ow)
+    rhs = float((x * back).sum())
+    assert abs(lhs - rhs) < 1e-9
+
+
+def test_gradcheck_small_cnn(rng):
+    model = nn.Sequential(
+        nn.Conv2d(1, 3, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(3 * 4 * 4, 5, rng=rng),
+    )
+    x = rng.normal(size=(4, 1, 8, 8))
+    y = rng.integers(0, 5, 4)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(x), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=12)
+
+
+def test_backward_before_forward_raises(rng):
+    layer = nn.Conv2d(1, 1, 3, rng=rng)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 1, 3, 3)))
+
+
+def test_grad_accumulates_across_batches(rng):
+    layer = nn.Conv2d(1, 2, 3, padding=1, rng=rng)
+    x = rng.normal(size=(2, 1, 6, 6))
+    out = layer(x)
+    layer.backward(np.ones_like(out))
+    first = layer.weight.grad.copy()
+    layer(x)
+    layer.backward(np.ones_like(out))
+    np.testing.assert_allclose(layer.weight.grad, 2 * first)

@@ -1,0 +1,57 @@
+"""Dropout tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_eval_mode_is_identity(rng):
+    layer = nn.Dropout(0.5)
+    layer.eval()
+    x = rng.normal(size=(10, 10))
+    np.testing.assert_array_equal(layer(x), x)
+
+
+def test_zero_rate_is_identity(rng):
+    layer = nn.Dropout(0.0)
+    x = rng.normal(size=(5, 5))
+    np.testing.assert_array_equal(layer(x), x)
+
+
+def test_training_mode_zeroes_and_rescales():
+    layer = nn.Dropout(0.5, seed=0)
+    x = np.ones((2000,))
+    out = layer(x)
+    kept = out != 0.0
+    # Inverted dropout rescales survivors by 1/keep.
+    np.testing.assert_allclose(out[kept], 2.0)
+    assert 0.4 < kept.mean() < 0.6
+
+
+def test_backward_uses_same_mask():
+    layer = nn.Dropout(0.5, seed=1)
+    x = np.ones((100,))
+    out = layer(x)
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+
+def test_mean_preserving_in_expectation():
+    layer = nn.Dropout(0.3, seed=2)
+    x = np.ones((50000,))
+    out = layer(x)
+    assert abs(out.mean() - 1.0) < 0.02
+
+
+def test_invalid_rate_raises():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.0)
+    with pytest.raises(ValueError):
+        nn.Dropout(-0.1)
+
+
+def test_deterministic_given_seed():
+    a = nn.Dropout(0.5, seed=7)(np.ones(100))
+    b = nn.Dropout(0.5, seed=7)(np.ones(100))
+    np.testing.assert_array_equal(a, b)

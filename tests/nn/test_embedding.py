@@ -1,0 +1,56 @@
+"""Embedding layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_lookup_returns_rows(rng):
+    layer = nn.Embedding(5, 3, rng=rng)
+    ids = np.array([[0, 4], [2, 2]])
+    out = layer(ids)
+    assert out.shape == (2, 2, 3)
+    np.testing.assert_array_equal(out[0, 1], layer.weight.data[4])
+
+
+def test_gradient_scatters_to_used_rows(rng):
+    layer = nn.Embedding(5, 2, rng=rng)
+    ids = np.array([[1, 1], [3, 1]])
+    layer(ids)
+    layer.backward(np.ones((2, 2, 2)))
+    # token 1 used three times, token 3 once, others zero
+    np.testing.assert_allclose(layer.weight.grad[1], [3.0, 3.0])
+    np.testing.assert_allclose(layer.weight.grad[3], [1.0, 1.0])
+    np.testing.assert_allclose(layer.weight.grad[0], [0.0, 0.0])
+
+
+def test_frozen_embedding_gets_no_gradient(rng):
+    layer = nn.Embedding(4, 2, rng=rng, trainable=False)
+    layer(np.array([[0, 1]]))
+    layer.backward(np.ones((1, 2, 2)))
+    assert np.all(layer.weight.grad == 0.0)
+
+
+def test_pretrained_vectors_loaded():
+    table = np.arange(8, dtype=np.float64).reshape(4, 2)
+    layer = nn.Embedding(4, 2, pretrained=table)
+    np.testing.assert_array_equal(layer.weight.data, table)
+
+
+def test_pretrained_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        nn.Embedding(4, 2, pretrained=np.zeros((3, 2)))
+
+
+def test_out_of_range_ids_raise(rng):
+    layer = nn.Embedding(4, 2, rng=rng)
+    with pytest.raises(ValueError):
+        layer(np.array([[4]]))
+    with pytest.raises(ValueError):
+        layer(np.array([[-1]]))
+
+
+def test_backward_before_forward_raises(rng):
+    with pytest.raises(RuntimeError):
+        nn.Embedding(4, 2, rng=rng).backward(np.zeros((1, 1, 2)))

@@ -1,0 +1,96 @@
+"""GRU tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.losses import SoftmaxCrossEntropy
+from tests.helpers import model_gradcheck
+
+
+def test_gru_cell_shape(rng):
+    cell = nn.GRUCell(4, 6, rng=rng)
+    out = cell(rng.normal(size=(3, 5, 4)))
+    assert out.shape == (3, 5, 6)
+
+
+def test_stacked_gru_shape(rng):
+    gru = nn.GRU(4, 6, num_layers=3, rng=rng)
+    out = gru(rng.normal(size=(2, 7, 4)))
+    assert out.shape == (2, 7, 6)
+    assert len(gru.cells) == 3
+
+
+def test_gru_has_fewer_params_than_lstm(rng):
+    """The GRU's selling point for FL payloads: 3 gates vs 4."""
+    from repro.nn.serialization import num_params
+
+    gru = nn.GRU(8, 16, num_layers=1, rng=rng)
+    lstm = nn.LSTM(8, 16, num_layers=1, rng=rng)
+    assert num_params(gru) == 0.75 * num_params(lstm)
+
+
+def test_gru_gradcheck_single_layer(rng):
+    model = nn.Sequential(
+        nn.GRUCell(3, 5, rng=rng), nn.LastTimestep(), nn.Linear(5, 2, rng=rng)
+    )
+    x = rng.normal(size=(4, 6, 3))
+    y = rng.integers(0, 2, 4)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(x), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=15)
+
+
+def test_gru_gradcheck_stacked_with_embedding(rng):
+    model = nn.Sequential(
+        nn.Embedding(12, 4, rng=rng),
+        nn.GRU(4, 6, num_layers=2, rng=rng),
+        nn.LastTimestep(),
+        nn.Linear(6, 3, rng=rng),
+    )
+    ids = rng.integers(0, 12, size=(3, 5))
+    y = rng.integers(0, 3, 3)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(ids), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=15)
+
+
+def test_gru_stateless_between_forwards(rng):
+    cell = nn.GRUCell(3, 4, rng=rng)
+    x = rng.normal(size=(2, 5, 3))
+    np.testing.assert_array_equal(cell(x), cell(x))
+
+
+def test_backward_before_forward_raises(rng):
+    with pytest.raises(RuntimeError):
+        nn.GRUCell(2, 2, rng=rng).backward(np.zeros((1, 3, 2)))
+
+
+def test_gru_learns_simple_sequence_task(rng):
+    """A GRU classifier separates sequences by their dominant token."""
+    vocab, seq_len, n = 6, 8, 120
+    tokens = rng.integers(0, vocab, size=(n, seq_len))
+    labels = (tokens == 0).sum(axis=1) > 1  # contains several 0-tokens
+    model = nn.Sequential(
+        nn.Embedding(vocab, 4, rng=rng),
+        nn.GRU(4, 8, rng=rng),
+        nn.LastTimestep(),
+        nn.Linear(8, 2, rng=rng),
+    )
+    loss_fn = SoftmaxCrossEntropy()
+    opt = nn.Adam(model.parameters(), lr=0.02)
+    for _ in range(60):
+        loss_fn.forward(model(tokens), labels.astype(int))
+        model.zero_grad()
+        model.backward(loss_fn.backward())
+        opt.step()
+    acc = (model(tokens).argmax(axis=1) == labels).mean()
+    assert acc > 0.85

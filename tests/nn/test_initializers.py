@@ -1,0 +1,44 @@
+"""Initializer tests."""
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_normal, orthogonal, zeros
+
+
+def test_glorot_bounds(rng):
+    w = glorot_uniform(rng, (100, 100), 100, 100)
+    limit = np.sqrt(6.0 / 200)
+    assert np.abs(w).max() <= limit
+    assert np.abs(w).max() > 0.5 * limit  # actually spans the range
+
+
+def test_he_normal_std(rng):
+    w = he_normal(rng, (200, 200), fan_in=200)
+    assert abs(w.std() - np.sqrt(2.0 / 200)) < 0.005
+
+
+def test_orthogonal_square_is_orthogonal(rng):
+    w = orthogonal(rng, (16, 16))
+    np.testing.assert_allclose(w @ w.T, np.eye(16), atol=1e-10)
+
+
+def test_orthogonal_rectangular_has_orthonormal_rows_or_cols(rng):
+    tall = orthogonal(rng, (10, 4))
+    np.testing.assert_allclose(tall.T @ tall, np.eye(4), atol=1e-10)
+    wide = orthogonal(rng, (4, 10))
+    np.testing.assert_allclose(wide @ wide.T, np.eye(4), atol=1e-10)
+
+
+def test_orthogonal_gain(rng):
+    w = orthogonal(rng, (8, 8), gain=2.0)
+    np.testing.assert_allclose(w @ w.T, 4.0 * np.eye(8), atol=1e-10)
+
+
+def test_zeros():
+    assert np.all(zeros((2, 3)) == 0.0)
+
+
+def test_determinism():
+    a = glorot_uniform(np.random.default_rng(5), (4, 4), 4, 4)
+    b = glorot_uniform(np.random.default_rng(5), (4, 4), 4, 4)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,62 @@
+"""Linear layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.losses import SoftmaxCrossEntropy
+from tests.helpers import model_gradcheck
+
+
+def test_forward_matches_manual_affine(rng):
+    layer = nn.Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    out = layer(x)
+    expected = x @ layer.weight.data + layer.bias.data
+    np.testing.assert_allclose(out, expected)
+
+
+def test_no_bias_option(rng):
+    layer = nn.Linear(3, 2, rng=rng, bias=False)
+    assert layer.bias is None
+    x = rng.normal(size=(4, 3))
+    np.testing.assert_allclose(layer(x), x @ layer.weight.data)
+    layer.backward(np.ones((4, 2)))  # must not crash without bias
+
+
+def test_backward_shapes_and_accumulation(rng):
+    layer = nn.Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    layer(x)
+    g1 = np.ones((4, 2))
+    layer.backward(g1)
+    w_grad_once = layer.weight.grad.copy()
+    layer(x)
+    layer.backward(g1)
+    np.testing.assert_allclose(layer.weight.grad, 2 * w_grad_once)
+
+
+def test_backward_before_forward_raises(rng):
+    layer = nn.Linear(3, 2, rng=rng)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.ones((1, 2)))
+
+
+def test_gradcheck_linear_chain(rng):
+    model = nn.Sequential(nn.Linear(6, 5, rng=rng), nn.Tanh(), nn.Linear(5, 3, rng=rng))
+    x = rng.normal(size=(8, 6))
+    y = rng.integers(0, 3, 8)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        logits = model(x)
+        loss = loss_fn.forward(logits, y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=12)
+
+
+def test_deterministic_init_with_same_seed():
+    a = nn.Linear(4, 4, rng=np.random.default_rng(9))
+    b = nn.Linear(4, 4, rng=np.random.default_rng(9))
+    np.testing.assert_array_equal(a.weight.data, b.weight.data)

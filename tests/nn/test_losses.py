@@ -1,0 +1,81 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.functional import softmax
+
+
+def test_cross_entropy_matches_manual(rng):
+    logits = rng.normal(size=(5, 4))
+    labels = rng.integers(0, 4, 5)
+    loss = nn.SoftmaxCrossEntropy()
+    value = loss(logits, labels)
+    probs = softmax(logits)
+    manual = -np.log(probs[np.arange(5), labels]).mean()
+    assert abs(value - manual) < 1e-12
+
+
+def test_cross_entropy_gradient_matches_softmax_minus_onehot(rng):
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([0, 1, 3])
+    loss = nn.SoftmaxCrossEntropy()
+    loss(logits, labels)
+    grad = loss.backward()
+    expected = softmax(logits)
+    expected[np.arange(3), labels] -= 1.0
+    np.testing.assert_allclose(grad, expected / 3.0)
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss = nn.SoftmaxCrossEntropy()
+    assert loss(logits, np.array([0, 1])) < 1e-10
+
+
+def test_cross_entropy_stable_with_huge_logits():
+    logits = np.array([[1e6, 0.0]])
+    loss = nn.SoftmaxCrossEntropy()
+    assert np.isfinite(loss(logits, np.array([1])))
+
+
+def test_mse_value_and_gradient():
+    loss = nn.MeanSquaredError()
+    pred = np.array([[1.0, 2.0]])
+    target = np.array([[0.0, 0.0]])
+    assert loss(pred, target) == pytest.approx(2.5)
+    np.testing.assert_allclose(loss.backward(), [[1.0, 2.0]])
+
+
+def test_bce_matches_manual(rng):
+    logits = rng.normal(size=(6,))
+    targets = rng.integers(0, 2, 6).astype(float)
+    loss = nn.BinaryCrossEntropy()
+    value = loss(logits, targets)
+    probs = 1 / (1 + np.exp(-logits))
+    manual = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+    assert abs(value - manual) < 1e-9
+
+
+def test_bce_gradient_shape_preserved():
+    loss = nn.BinaryCrossEntropy()
+    logits = np.zeros((4, 1))
+    loss(logits, np.array([1.0, 0.0, 1.0, 0.0]))
+    assert loss.backward().shape == (4, 1)
+
+
+@pytest.mark.parametrize("cls", [nn.SoftmaxCrossEntropy, nn.MeanSquaredError, nn.BinaryCrossEntropy])
+def test_backward_before_forward_raises(cls):
+    with pytest.raises(RuntimeError):
+        cls().backward()
+
+
+def test_cross_entropy_mean_reduction_scaling(rng):
+    """Duplicating the batch leaves the loss unchanged (mean reduction)."""
+    logits = rng.normal(size=(4, 3))
+    labels = rng.integers(0, 3, 4)
+    loss = nn.SoftmaxCrossEntropy()
+    single = loss(logits, labels)
+    double = loss(np.vstack([logits, logits]), np.concatenate([labels, labels]))
+    assert abs(single - double) < 1e-12

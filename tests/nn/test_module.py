@@ -1,0 +1,75 @@
+"""Tests for Parameter / Module / Sequential plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+def test_parameter_holds_float64_and_zero_grad():
+    p = Parameter(np.array([[1, 2], [3, 4]], dtype=np.int32), name="w")
+    assert p.data.dtype == np.float64
+    assert p.grad.shape == (2, 2)
+    p.grad += 5.0
+    p.zero_grad()
+    assert np.all(p.grad == 0.0)
+
+
+def test_parameter_shape_and_size():
+    p = Parameter(np.zeros((3, 4)))
+    assert p.shape == (3, 4)
+    assert p.size == 12
+
+
+def test_parameters_discovery_recurses_into_submodules(rng):
+    model = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.ReLU(), nn.Linear(3, 2, rng=rng))
+    params = model.parameters()
+    # two Linear layers x (weight, bias)
+    assert len(params) == 4
+    assert {p.data.shape for p in params} == {(4, 3), (3,), (3, 2), (2,)}
+
+
+def test_parameters_discovery_includes_lists_of_modules(rng):
+    lstm = nn.LSTM(4, 6, num_layers=2, rng=rng)
+    # each LSTMCell has w_x, w_h, bias
+    assert len(lstm.parameters()) == 6
+
+
+def test_zero_grad_resets_all(rng):
+    model = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.Linear(3, 2, rng=rng))
+    for p in model.parameters():
+        p.grad += 1.0
+    model.zero_grad()
+    assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+
+def test_train_eval_mode_propagates(rng):
+    model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.Dropout(0.5), nn.Linear(4, 2, rng=rng))
+    model.eval()
+    assert not model.training
+    assert all(not layer.training for layer in model.layers)
+    model.train()
+    assert all(layer.training for layer in model.layers)
+
+
+def test_sequential_forward_backward_chain(rng):
+    model = nn.Sequential(nn.Linear(5, 4, rng=rng), nn.Tanh(), nn.Linear(4, 3, rng=rng))
+    x = rng.normal(size=(7, 5))
+    out = model(x)
+    assert out.shape == (7, 3)
+    grad_in = model.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+
+
+def test_sequential_len_getitem_append(rng):
+    model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+    assert len(model) == 1
+    model.append(nn.ReLU())
+    assert len(model) == 2
+    assert isinstance(model[1], nn.ReLU)
+
+
+def test_base_module_forward_raises():
+    with pytest.raises(NotImplementedError):
+        Module().forward(np.zeros(3))

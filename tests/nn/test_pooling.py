@@ -1,0 +1,72 @@
+"""Pooling layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.helpers import model_gradcheck
+from repro.nn.losses import MeanSquaredError
+
+
+def test_maxpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = nn.MaxPool2d(2)(x)
+    np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_avgpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = nn.AvgPool2d(2)(x)
+    np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+def test_maxpool_backward_routes_to_max():
+    x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    layer = nn.MaxPool2d(2)
+    layer(x)
+    grad = layer.backward(np.array([[[[10.0]]]]))
+    np.testing.assert_array_equal(grad[0, 0], [[0, 0], [0, 10]])
+
+
+def test_maxpool_tie_splits_gradient():
+    x = np.ones((1, 1, 2, 2))
+    layer = nn.MaxPool2d(2)
+    layer(x)
+    grad = layer.backward(np.array([[[[8.0]]]]))
+    np.testing.assert_array_equal(grad[0, 0], [[2, 2], [2, 2]])
+
+
+def test_avgpool_backward_spreads_evenly():
+    layer = nn.AvgPool2d(2)
+    layer(np.zeros((1, 1, 2, 2)))
+    grad = layer.backward(np.array([[[[4.0]]]]))
+    np.testing.assert_array_equal(grad[0, 0], [[1, 1], [1, 1]])
+
+
+@pytest.mark.parametrize("cls", [nn.MaxPool2d, nn.AvgPool2d])
+def test_indivisible_dims_raise(cls):
+    with pytest.raises(ValueError):
+        cls(2)(np.zeros((1, 1, 5, 4)))
+
+
+@pytest.mark.parametrize("cls", [nn.MaxPool2d, nn.AvgPool2d])
+def test_backward_before_forward_raises(cls):
+    with pytest.raises(RuntimeError):
+        cls(2).backward(np.zeros((1, 1, 2, 2)))
+
+
+@pytest.mark.parametrize("cls", [nn.MaxPool2d, nn.AvgPool2d])
+def test_gradcheck_pooling(rng, cls):
+    model = nn.Sequential(
+        nn.Conv2d(1, 2, 3, padding=1, rng=rng), cls(2), nn.Flatten(),
+        nn.Linear(2 * 3 * 3, 2, rng=rng),
+    )
+    x = rng.normal(size=(3, 1, 6, 6))
+    target = rng.normal(size=(3, 2))
+    loss_fn = MeanSquaredError()
+
+    def closure():
+        loss = loss_fn.forward(model(x), target)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=8)

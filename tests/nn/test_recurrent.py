@@ -1,0 +1,85 @@
+"""LSTM / BPTT tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.losses import SoftmaxCrossEntropy
+from tests.helpers import model_gradcheck
+
+
+def test_lstm_cell_output_shape(rng):
+    cell = nn.LSTMCell(4, 6, rng=rng)
+    out = cell(rng.normal(size=(3, 5, 4)))
+    assert out.shape == (3, 5, 6)
+
+
+def test_multilayer_lstm_shapes(rng):
+    lstm = nn.LSTM(4, 6, num_layers=3, rng=rng)
+    out = lstm(rng.normal(size=(2, 7, 4)))
+    assert out.shape == (2, 7, 6)
+    assert len(lstm.cells) == 3
+
+
+def test_forget_bias_initialized_to_one(rng):
+    cell = nn.LSTMCell(3, 5, rng=rng)
+    hid = 5
+    np.testing.assert_array_equal(cell.bias.data[hid : 2 * hid], np.ones(hid))
+    np.testing.assert_array_equal(cell.bias.data[:hid], np.zeros(hid))
+
+
+def test_last_timestep_selects_final(rng):
+    layer = nn.LastTimestep()
+    x = rng.normal(size=(2, 4, 3))
+    np.testing.assert_array_equal(layer(x), x[:, -1, :])
+    grad = layer.backward(np.ones((2, 3)))
+    assert grad.shape == x.shape
+    np.testing.assert_array_equal(grad[:, :-1, :], 0.0)
+    np.testing.assert_array_equal(grad[:, -1, :], 1.0)
+
+
+def test_gradcheck_single_layer_lstm(rng):
+    model = nn.Sequential(
+        nn.LSTMCell(3, 5, rng=rng), nn.LastTimestep(), nn.Linear(5, 2, rng=rng)
+    )
+    x = rng.normal(size=(4, 6, 3))
+    y = rng.integers(0, 2, 4)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(x), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=12)
+
+
+def test_gradcheck_stacked_lstm_with_embedding(rng):
+    model = nn.Sequential(
+        nn.Embedding(10, 4, rng=rng),
+        nn.LSTM(4, 6, num_layers=2, rng=rng),
+        nn.LastTimestep(),
+        nn.Linear(6, 3, rng=rng),
+    )
+    ids = rng.integers(0, 10, size=(3, 5))
+    y = rng.integers(0, 3, 3)
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(ids), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=12)
+
+
+def test_backward_before_forward_raises(rng):
+    with pytest.raises(RuntimeError):
+        nn.LSTMCell(2, 2, rng=rng).backward(np.zeros((1, 3, 2)))
+    with pytest.raises(RuntimeError):
+        nn.LastTimestep().backward(np.zeros((1, 2)))
+
+
+def test_lstm_state_starts_at_zero_each_forward(rng):
+    """Two identical forwards produce identical outputs (stateless API)."""
+    cell = nn.LSTMCell(3, 4, rng=rng)
+    x = rng.normal(size=(2, 5, 3))
+    np.testing.assert_array_equal(cell(x), cell(x))

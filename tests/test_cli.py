@@ -1,0 +1,93 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "rfedavg+" in out
+    assert "synth_cifar" in out
+
+
+def test_experiments_command(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Fig. 12" in out
+
+
+def test_run_command_minimal(capsys):
+    code = main([
+        "run", "--dataset", "synth_mnist", "--algorithm", "fedavg",
+        "--clients", "4", "--rounds", "2", "--local-steps", "1",
+        "--batch-size", "8", "--eval-every", "1", "--scale", "0.25",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "final accuracy" in out
+    assert "total traffic" in out
+
+
+def test_run_command_regularized(capsys):
+    code = main([
+        "run", "--dataset", "synth_mnist", "--algorithm", "rfedavg+",
+        "--clients", "4", "--rounds", "2", "--local-steps", "1",
+        "--batch-size", "8", "--lam", "0.001", "--scale", "0.25",
+    ])
+    assert code == 0
+
+
+def test_run_command_sequence_dataset_defaults_to_lstm(capsys):
+    code = main([
+        "run", "--dataset", "synth_sent140", "--algorithm", "fedavg",
+        "--clients", "4", "--rounds", "1", "--local-steps", "1",
+        "--batch-size", "4", "--optimizer", "rmsprop", "--lr", "0.01",
+        "--scale", "0.1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "final accuracy" in out
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--algorithm", "magic"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_sweep_algorithm_param(capsys):
+    code = main([
+        "sweep", "--dataset", "synth_mnist", "--algorithm", "rfedavg+",
+        "--knob", "lam", "--values", "0,0.001",
+        "--clients", "4", "--rounds", "2", "--scale", "0.25",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best: lam=" in out
+    assert "accuracy" in out
+
+
+def test_sweep_config_field(capsys):
+    code = main([
+        "sweep", "--dataset", "synth_mnist", "--algorithm", "fedavg",
+        "--knob", "local_steps", "--values", "1,2",
+        "--clients", "4", "--rounds", "2", "--scale", "0.25",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "local_steps" in out
+
+
+def test_sweep_bad_values_rejected():
+    with pytest.raises(SystemExit):
+        main([
+            "sweep", "--knob", "lam", "--values", "a,b",
+            "--clients", "4", "--rounds", "1",
+        ])

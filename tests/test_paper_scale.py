@@ -1,0 +1,86 @@
+"""Paper-scale architecture fidelity tests.
+
+The benches run scaled-down models; these tests build the *full-size*
+paper architectures once, verify their exact parameter inventories, and
+push one training step through each — proving the paper-scale
+configuration is functional, not just the scaled one.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_cnn, build_lstm_classifier
+from repro.nn.serialization import num_params
+
+
+@pytest.fixture(scope="module")
+def paper_cnn():
+    return build_cnn(1, 28, 10, np.random.default_rng(0), scale=1.0)
+
+
+def test_paper_cnn_parameter_inventory(paper_cnn):
+    """Layer-by-layer parameter count of the FedAvg/paper CNN on 28x28."""
+    conv1 = 32 * 1 * 5 * 5 + 32  # 832
+    conv2 = 64 * 32 * 5 * 5 + 64  # 51,264
+    fc1 = (64 * 7 * 7) * 512 + 512  # 1,606,144
+    head = 512 * 10 + 10  # 5,130
+    assert num_params(paper_cnn) == conv1 + conv2 + fc1 + head == 1_663_370
+
+
+def test_paper_cnn_feature_layer_is_512(paper_cnn):
+    assert paper_cnn.feature_dim == 512
+    x = np.random.default_rng(1).random((2, 1, 28, 28))
+    out = paper_cnn.forward(x)
+    assert out.shape == (2, 10)
+    assert paper_cnn.last_features.shape == (2, 512)
+
+
+def test_paper_cnn_one_training_step(paper_cnn):
+    """One full forward/backward/step at paper scale stays finite."""
+    rng = np.random.default_rng(2)
+    x = rng.random((4, 1, 28, 28))
+    y = rng.integers(0, 10, 4)
+    loss_fn = nn.SoftmaxCrossEntropy()
+    opt = nn.SGD(paper_cnn.parameters(), lr=0.1)
+    loss_before = loss_fn.forward(paper_cnn.forward(x), y)
+    paper_cnn.zero_grad()
+    paper_cnn.backward(loss_fn.backward())
+    opt.step()
+    loss_after = loss_fn.forward(paper_cnn.forward(x), y)
+    assert np.isfinite(loss_after)
+    assert loss_after < loss_before  # a single step on its own batch helps
+
+
+def test_paper_lstm_parameter_inventory():
+    """The Sent140 model: 2-layer LSTM(256) + FC 256 feature layer."""
+    vocab, embed = 400, 50
+    model = build_lstm_classifier(vocab, 2, np.random.default_rng(0),
+                                  embed_dim=embed, hidden_dim=256,
+                                  feature_dim=256, num_layers=2)
+    emb = vocab * embed
+    lstm1 = (embed * 4 * 256) + (256 * 4 * 256) + 4 * 256
+    lstm2 = (256 * 4 * 256) + (256 * 4 * 256) + 4 * 256
+    fc_feat = 256 * 256 + 256
+    head = 256 * 2 + 2
+    assert num_params(model) == emb + lstm1 + lstm2 + fc_feat + head
+
+
+def test_paper_lstm_forward_shapes():
+    model = build_lstm_classifier(400, 2, np.random.default_rng(0))
+    ids = np.random.default_rng(1).integers(0, 400, size=(3, 12))
+    out = model.forward(ids)
+    assert out.shape == (3, 2)
+    assert model.last_features.shape == (3, 256)
+
+
+def test_paper_delta_dim_consistency():
+    """The delta payload of the paper CNN is 512 floats -> 2048 B at
+    float32; Table III's 2808 B corresponds to its reported effective
+    d=702 (likely 512 + auxiliary stats).  Our implementation's payload
+    is the feature dim exactly."""
+    from repro.core.delta import DeltaTable
+
+    table = DeltaTable(20, 512, dtype_bytes=4)
+    assert table.per_client_state_bytes(plus=True) == 2048
+    assert table.per_client_state_bytes(plus=False) == 20 * 2048
