@@ -1,29 +1,24 @@
 """Quickstart: train rFedAvg+ vs FedAvg on non-IID synthetic MNIST.
 
 Runs in under a minute on one CPU core and prints the round-by-round
-accuracy of both methods plus the communication bill.
+accuracy of both methods plus the communication bill.  Built on the
+single public entry point :func:`repro.run_experiment` — swap the
+``overrides`` dict to change the dataset, algorithm, or any config knob.
 
     python examples/quickstart.py
 """
 
-from repro.algorithms import make_algorithm
-from repro.experiments import build_image_federation, cross_silo_config, default_model_fn
-from repro.fl import run_federated
+import repro
 
 
 def main() -> None:
-    # A 10-client federation with fully non-IID label skew (Sim 0%).
-    fed = build_image_federation(
-        "synth_mnist", num_clients=10, similarity=0.0, num_train=2000, num_test=400
-    )
-    print(f"clients: {fed.num_clients}, shard sizes: {fed.client_sizes.tolist()}")
-
-    config = cross_silo_config(rounds=60, batch_size=32, lr=0.5, eval_every=5)
-    model_fn = default_model_fn("mlp", fed.spec, scale=1.0)
-
-    for name, kwargs in [("fedavg", {}), ("rfedavg+", {"lam": 1e-3})]:
-        algorithm = make_algorithm(name, **kwargs)
-        history = run_federated(algorithm, fed, model_fn, config)
+    # The "quickstart" preset: a 10-client federation with fully non-IID
+    # label skew (Sim 0%) on synthetic MNIST, cross-silo config.
+    for name, overrides in [
+        ("fedavg", {"algorithm": "fedavg"}),
+        ("rfedavg+", {}),
+    ]:
+        history, _ = repro.run_experiment("quickstart", seed=0, overrides=overrides)
         print(f"\n=== {name} ===")
         for round_idx, accuracy in history.accuracies():
             print(f"  round {int(round_idx):3d}  test accuracy {accuracy:.4f}")

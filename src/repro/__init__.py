@@ -17,7 +17,19 @@ Public API tour:
 * :mod:`repro.experiments` — presets and the per-table/figure registry.
 * :mod:`repro.analysis` — convergence bounds, fairness stats, t-SNE.
 
+* :mod:`repro.obs` — zero-dependency observability: span tracing,
+  counters/gauges/histograms, JSONL/CSV run artifacts, layer profiler.
+
 Quickstart::
+
+    import repro
+
+    history, artifacts = repro.run_experiment(
+        "quickstart", seed=0, overrides={"rounds": 20}
+    )
+    print(history.last_accuracy())
+
+Anything beyond the named presets composes from the building blocks::
 
     from repro.experiments import build_image_federation, default_model_fn
     from repro.algorithms import make_algorithm
@@ -43,5 +55,19 @@ __all__ = [
     "ConfigError",
     "DataError",
     "ProtocolError",
+    "run_experiment",
+    "list_presets",
     "__version__",
 ]
+
+_LAZY = {"run_experiment", "list_presets"}
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` stays light: the facade pulls in the
+    # full experiment stack (data builders, algorithms, trainer).
+    if name in _LAZY:
+        from repro.experiments import facade
+
+        return getattr(facade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

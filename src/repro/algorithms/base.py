@@ -20,6 +20,7 @@ from repro.fl.config import FLConfig
 from repro.fl.server import weighted_average
 from repro.models.split import SplitModel
 from repro.nn.serialization import get_flat_params, num_params, set_flat_params
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -52,6 +53,7 @@ class FederatedAlgorithm:
         self.model_size = 0
         self.compressor = None  # optional upload Compressor
         self.fault_model = None  # optional FaultModel
+        self.tracer = NULL_TRACER  # the trainer swaps in a live Tracer
 
     def with_compressor(self, compressor) -> "FederatedAlgorithm":
         """Compress client model uploads (FedAvg-family rounds only).
@@ -75,7 +77,10 @@ class FederatedAlgorithm:
         self.fed = fed
         self.config = config
         self.global_params = get_flat_params(model)
-        self.ledger = CommLedger(config.wire_dtype_bytes)
+        # Traced runs share the tracer's registry so byte counters land
+        # next to the spans; untraced runs get a private registry.
+        metrics = self.tracer.metrics if self.tracer.enabled else None
+        self.ledger = CommLedger(config.wire_dtype_bytes, metrics=metrics)
         self.model_size = num_params(model)
 
     def _require_setup(self) -> None:
@@ -164,27 +169,37 @@ class FederatedAlgorithm:
     def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
         """Execute one communication round over ``selected`` clients."""
         self._require_setup()
+        tracer = self.tracer
         if self.fault_model is not None:
             selected = self.fault_model.surviving_clients(selected)
-        self._charge_broadcast(selected)
+        with tracer.span("broadcast"):
+            self._charge_broadcast(selected)
         updates: list[np.ndarray] = []
         task_losses: list[float] = []
         reg_losses: list[float] = []
         for client_id in selected:
-            params, result = self._train_one_client(
-                round_idx,
-                int(client_id),
-                reg_hook=self._reg_hook(round_idx, int(client_id)),
-                grad_hook=self._grad_hook(round_idx, int(client_id)),
-            )
-            params, wire = self._apply_upload_pipeline(round_idx, int(client_id), params)
-            assert self.ledger is not None
-            self.ledger.charge(CommLedger.UP, "model", wire)
+            cid = int(client_id)
+            with tracer.span("local_train", client=cid):
+                params, result = self._train_one_client(
+                    round_idx,
+                    cid,
+                    reg_hook=self._reg_hook(round_idx, cid),
+                    grad_hook=self._grad_hook(round_idx, cid),
+                )
+                params, wire = self._apply_upload_pipeline(round_idx, cid, params)
+                assert self.ledger is not None
+                self.ledger.charge(CommLedger.UP, "model", wire)
+            if tracer.enabled:
+                assert self.global_params is not None
+                tracer.metrics.histogram("client.update_norm").observe(
+                    float(np.linalg.norm(params - self.global_params))
+                )
             updates.append(params)
             task_losses.append(result.mean_task_loss)
             reg_losses.append(result.mean_reg_loss)
-        self.global_params = self._aggregate(round_idx, selected, updates)
-        self._post_aggregate(round_idx, selected)
+        with tracer.span("aggregate"):
+            self.global_params = self._aggregate(round_idx, selected, updates)
+            self._post_aggregate(round_idx, selected)
         assert self.fed is not None
         weights = self.fed.client_sizes[selected].astype(np.float64)
         weights /= weights.sum()

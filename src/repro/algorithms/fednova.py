@@ -58,9 +58,11 @@ class FedNova(FederatedAlgorithm):
             and self.ledger is not None
             and self.global_params is not None
         )
+        tracer = self.tracer
         if self.fault_model is not None:
             selected = self.fault_model.surviving_clients(selected)
-        self._charge_broadcast(selected)
+        with tracer.span("broadcast"):
+            self._charge_broadcast(selected)
 
         x = self.global_params
         weights = self.fed.client_sizes[selected].astype(np.float64)
@@ -72,25 +74,27 @@ class FedNova(FederatedAlgorithm):
         for client_id in selected:
             cid = int(client_id)
             tau = self._steps_for(round_idx, cid)
-            self._load_global()
-            result = local_sgd_steps(
-                self.model,
-                self.fed.clients[cid],
-                self.config.with_updates(local_steps=tau),
-                self.client_rng(round_idx, cid),
-                step_offset=round_idx * self.config.local_steps,
-            )
-            task_losses.append(result.mean_task_loss)
-            y_k = get_flat_params(self.model)
-            y_k, wire = self._apply_upload_pipeline(round_idx, cid, y_k)
-            self.ledger.charge(CommLedger.UP, "model", wire)
+            with tracer.span("local_train", client=cid):
+                self._load_global()
+                result = local_sgd_steps(
+                    self.model,
+                    self.fed.clients[cid],
+                    self.config.with_updates(local_steps=tau),
+                    self.client_rng(round_idx, cid),
+                    step_offset=round_idx * self.config.local_steps,
+                )
+                task_losses.append(result.mean_task_loss)
+                y_k = get_flat_params(self.model)
+                y_k, wire = self._apply_upload_pipeline(round_idx, cid, y_k)
+                self.ledger.charge(CommLedger.UP, "model", wire)
             directions.append((x - y_k) / tau)
             taus.append(tau)
 
-        effective_tau = float(np.dot(weights, taus))
-        mean_direction = np.sum(
-            [w * d for w, d in zip(weights, directions)], axis=0
-        )
-        self.global_params = x - effective_tau * mean_direction
-        self._post_aggregate(round_idx, selected)
+        with tracer.span("aggregate"):
+            effective_tau = float(np.dot(weights, taus))
+            mean_direction = np.sum(
+                [w * d for w, d in zip(weights, directions)], axis=0
+            )
+            self.global_params = x - effective_tau * mean_direction
+            self._post_aggregate(round_idx, selected)
         return RoundStats(train_loss=float(np.dot(weights, task_losses)))

@@ -45,7 +45,11 @@ class QFedAvg(FederatedAlgorithm):
             and self.ledger is not None
             and self.global_params is not None
         )
-        self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
+        tracer = self.tracer
+        with tracer.span("broadcast"):
+            self.ledger.charge(
+                CommLedger.DOWN, "model", self.model_size, copies=len(selected)
+            )
 
         lipschitz = 1.0 / self.config.lr
         eps = 1e-10
@@ -54,13 +58,14 @@ class QFedAvg(FederatedAlgorithm):
         task_losses: list[float] = []
         for client_id in selected:
             cid = int(client_id)
-            # Loss of the *global* model on the client's data (F_k(w^t)).
-            self._load_global()
-            start_loss, _acc = evaluate_model(
-                self.model, self.fed.clients[cid], self.config.eval_batch
-            )
-            start_loss = max(start_loss, eps)
-            params, result = self._train_one_client(round_idx, cid)
+            with tracer.span("local_train", client=cid):
+                # Loss of the *global* model on the client's data (F_k(w^t)).
+                self._load_global()
+                start_loss, _acc = evaluate_model(
+                    self.model, self.fed.clients[cid], self.config.eval_batch
+                )
+                start_loss = max(start_loss, eps)
+                params, result = self._train_one_client(round_idx, cid)
             task_losses.append(result.mean_task_loss)
             delta = lipschitz * (self.global_params - params)
             f_pow_q = start_loss**self.q
@@ -73,9 +78,10 @@ class QFedAvg(FederatedAlgorithm):
         self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
         self.ledger.charge(CommLedger.UP, "scalar", 1, copies=len(selected))
 
-        total_h = float(np.sum(denominators))
-        update = np.sum(numerators, axis=0) / max(total_h, eps)
-        self.global_params = self.global_params - update
+        with tracer.span("aggregate"):
+            total_h = float(np.sum(denominators))
+            update = np.sum(numerators, axis=0) / max(total_h, eps)
+            self.global_params = self.global_params - update
 
         weights = self.fed.client_sizes[selected].astype(np.float64)
         weights /= weights.sum()

@@ -50,11 +50,24 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         """Compute (and optionally privatize) client k's mean embedding
         under the *current workspace model* parameters."""
         assert self.model is not None and self.fed is not None and self.config is not None
-        shard = self.fed.clients[client_id]
-        delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
-        if self.privacy is not None:
-            delta = self.privacy.privatize(delta, batch_size=len(shard))
+        with self.tracer.span("delta_compute", client=client_id):
+            shard = self.fed.clients[client_id]
+            delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
+            if self.privacy is not None:
+                delta = self.privacy.privatize(delta, batch_size=len(shard))
         return delta
+
+    def _traced_reg_hook(self, hook):
+        """Wrap a regularizer hook so each evaluation emits a span."""
+        if not self.tracer.enabled:
+            return hook
+        tracer = self.tracer
+
+        def traced(features):
+            with tracer.span("regularizer"):
+                return hook(features)
+
+        return traced
 
     def delta_payload_bytes(self) -> int:
         """Wire size of one delta vector."""

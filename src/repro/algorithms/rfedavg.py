@@ -51,7 +51,7 @@ class RFedAvg(RegularizedAlgorithm):
             result = regularizer.evaluate(features, others)
             return result.loss, result.feature_grad
 
-        return hook
+        return self._traced_reg_hook(hook)
 
     def _others_rows(self, client_id: int) -> np.ndarray | None:
         """Reported delta rows of every client except ``client_id``."""
@@ -69,15 +69,17 @@ class RFedAvg(RegularizedAlgorithm):
             and self.ledger is not None
             and self.delta_table is not None
         )
+        tracer = self.tracer
         # Downlink: model + the full (N, d) delta table per client.
-        self._charge_broadcast(selected)
-        if self.delta_table.any_reported:
-            self.ledger.charge(
-                CommLedger.DOWN,
-                "delta",
-                self.fed.num_clients * self.model.feature_dim,
-                copies=len(selected),
-            )
+        with tracer.span("broadcast"):
+            self._charge_broadcast(selected)
+            if self.delta_table.any_reported:
+                self.ledger.charge(
+                    CommLedger.DOWN,
+                    "delta",
+                    self.fed.num_clients * self.model.feature_dim,
+                    copies=len(selected),
+                )
 
         updates: list[np.ndarray] = []
         task_losses: list[float] = []
@@ -85,13 +87,14 @@ class RFedAvg(RegularizedAlgorithm):
         new_deltas: dict[int, np.ndarray] = {}
         for client_id in selected:
             cid = int(client_id)
-            params, result = self._train_one_client(
-                round_idx, cid, reg_hook=self._reg_hook(round_idx, cid)
-            )
-            # Delta computed with the client's final *local* model — the
-            # inconsistent mapping that motivates rFedAvg+ (workspace
-            # model still holds the local parameters here).
-            new_deltas[cid] = self._client_delta(cid)
+            with tracer.span("local_train", client=cid):
+                params, result = self._train_one_client(
+                    round_idx, cid, reg_hook=self._reg_hook(round_idx, cid)
+                )
+                # Delta computed with the client's final *local* model — the
+                # inconsistent mapping that motivates rFedAvg+ (workspace
+                # model still holds the local parameters here).
+                new_deltas[cid] = self._client_delta(cid)
             updates.append(params)
             task_losses.append(result.mean_task_loss)
             reg_losses.append(result.mean_reg_loss)
@@ -102,9 +105,10 @@ class RFedAvg(RegularizedAlgorithm):
             CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
         )
 
-        self.global_params = self._aggregate(round_idx, selected, updates)
-        for cid, delta in new_deltas.items():
-            self.delta_table.update(cid, delta)
+        with tracer.span("aggregate"):
+            self.global_params = self._aggregate(round_idx, selected, updates)
+            for cid, delta in new_deltas.items():
+                self.delta_table.update(cid, delta)
 
         weights = self.fed.client_sizes[selected].astype(np.float64)
         weights /= weights.sum()

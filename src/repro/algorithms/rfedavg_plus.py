@@ -47,7 +47,7 @@ class RFedAvgPlus(RegularizedAlgorithm):
             result = regularizer.evaluate(features, target)
             return result.loss, result.feature_grad
 
-        return hook
+        return self._traced_reg_hook(hook)
 
     def _charge_broadcast(self, selected: np.ndarray) -> None:
         """Phase-1 downlink: model + each client's own delta^{-k}."""
@@ -68,15 +68,16 @@ class RFedAvgPlus(RegularizedAlgorithm):
             and self.delta_table is not None
             and self.model is not None
         )
-        # Server sends the aggregated model back down...
-        self.ledger.charge(
-            CommLedger.DOWN, "model", self.model_size, copies=len(selected)
-        )
-        # ...and every participating client computes its delta with it.
-        self._load_global()
-        for client_id in selected:
-            cid = int(client_id)
-            self.delta_table.update(cid, self._client_delta(cid))
-        self.ledger.charge(
-            CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
-        )
+        with self.tracer.span("delta_sync"):
+            # Server sends the aggregated model back down...
+            self.ledger.charge(
+                CommLedger.DOWN, "model", self.model_size, copies=len(selected)
+            )
+            # ...and every participating client computes its delta with it.
+            self._load_global()
+            for client_id in selected:
+                cid = int(client_id)
+                self.delta_table.update(cid, self._client_delta(cid))
+            self.ledger.charge(
+                CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
+            )

@@ -74,9 +74,11 @@ class Scaffold(FederatedAlgorithm):
             and self.server_control is not None
             and self.client_controls is not None
         )
-        # Downlink: model + server control to every selected client.
-        self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
-        self.ledger.charge(CommLedger.DOWN, "control", self.model_size, copies=len(selected))
+        tracer = self.tracer
+        with tracer.span("broadcast"):
+            # Downlink: model + server control to every selected client.
+            self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
+            self.ledger.charge(CommLedger.DOWN, "control", self.model_size, copies=len(selected))
 
         x = self.global_params
         eta_l = self._local_lr(round_idx)
@@ -86,9 +88,10 @@ class Scaffold(FederatedAlgorithm):
         task_losses: list[float] = []
         for client_id in selected:
             cid = int(client_id)
-            y_k, result = self._train_one_client(
-                round_idx, cid, grad_hook=self._grad_hook(round_idx, cid)
-            )
+            with tracer.span("local_train", client=cid):
+                y_k, result = self._train_one_client(
+                    round_idx, cid, grad_hook=self._grad_hook(round_idx, cid)
+                )
             task_losses.append(result.mean_task_loss)
             new_control = (
                 self.client_controls[cid]
@@ -102,12 +105,13 @@ class Scaffold(FederatedAlgorithm):
         self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
         self.ledger.charge(CommLedger.UP, "control", self.model_size, copies=len(selected))
 
-        mean_dy = np.mean(delta_ys, axis=0)
-        mean_dc = np.mean(delta_cs, axis=0)
-        self.global_params = x + self.eta_g * mean_dy
-        self.server_control = self.server_control + (
-            len(selected) / self.fed.num_clients
-        ) * mean_dc
+        with tracer.span("aggregate"):
+            mean_dy = np.mean(delta_ys, axis=0)
+            mean_dc = np.mean(delta_cs, axis=0)
+            self.global_params = x + self.eta_g * mean_dy
+            self.server_control = self.server_control + (
+                len(selected) / self.fed.num_clients
+            ) * mean_dc
 
         weights = self.fed.client_sizes[selected].astype(np.float64)
         weights /= weights.sum()

@@ -5,6 +5,10 @@ Run a federated experiment without writing Python::
     python -m repro.cli run --dataset synth_cifar --algorithm rfedavg+ \
         --clients 10 --similarity 0.0 --rounds 30 --lam 1e-3
 
+    python -m repro.cli run --dataset synth_mnist --rounds 10 \
+        --trace --trace-out runs/     # persist spans + metrics artifacts
+
+    python -m repro.cli preset quickstart --seed 0   # named entry points
     python -m repro.cli list            # algorithms + datasets
     python -m repro.cli experiments     # the paper table/figure index
 """
@@ -13,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.algorithms import ALGORITHMS, make_algorithm
 from repro.experiments import (
@@ -21,9 +26,16 @@ from repro.experiments import (
     build_sent140_federation,
     default_model_fn,
 )
+from repro.experiments.facade import RUN_PRESETS, run_experiment as run_preset
 from repro.experiments.registry import EXPERIMENTS
 from repro.fl.config import FLConfig
 from repro.fl.trainer import run_federated
+from repro.obs import (
+    Tracer,
+    format_round_table,
+    format_span_summary,
+    write_run_artifacts,
+)
 
 DATASETS = ("synth_mnist", "synth_cifar", "synth_sent140", "synth_femnist")
 
@@ -57,6 +69,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=1.0, help="model width multiplier")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--eval-every", type=int, default=5)
+    run.add_argument("--trace", action="store_true",
+                     help="collect per-round spans and byte/metric counters")
+    run.add_argument("--trace-out", default=None, metavar="DIR",
+                     help="persist run artifacts (events.jsonl, summary.json, "
+                          "rounds.csv) under DIR; implies --trace")
+
+    preset = sub.add_parser("preset", help="run a named experiment preset")
+    preset.add_argument("name", choices=sorted(RUN_PRESETS),
+                        help="preset name (see repro.list_presets())")
+    preset.add_argument("--seed", type=int, default=0)
+    preset.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a preset/config/algorithm knob, "
+                             "e.g. --set rounds=10 --set algorithm=fedavg")
+    preset.add_argument("--trace", action="store_true")
+    preset.add_argument("--trace-out", default=None, metavar="DIR")
 
     sweep = sub.add_parser("sweep", help="sweep one hyperparameter")
     sweep.add_argument("--dataset", choices=("synth_mnist", "synth_cifar"),
@@ -107,6 +135,27 @@ def _algorithm_kwargs(args) -> dict:
     return {}
 
 
+def _print_round(rec) -> None:
+    line = f"round {rec.round_idx:4d}  loss {rec.train_loss:.4f}"
+    if rec.test_accuracy is not None:
+        line += f"  acc {rec.test_accuracy:.4f}"
+    print(line)
+
+
+def _report_run(history, tracer, trace_out, run_name: str) -> None:
+    """Shared post-run reporting for `run` and `preset`."""
+    print(f"final accuracy: {history.final_accuracy:.4f}")
+    print(f"total traffic:  {history.total_bytes():,} bytes")
+    if tracer is not None:
+        print()
+        print(format_round_table(history))
+        print()
+        print(format_span_summary(tracer))
+        if trace_out is not None:
+            out_dir = write_run_artifacts(Path(trace_out) / run_name, history, tracer)
+            print(f"\nartifacts: {out_dir}")
+
+
 def _command_run(args) -> int:
     fed = _build_federation(args)
     model_name = args.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
@@ -125,24 +174,61 @@ def _command_run(args) -> int:
         f"{args.algorithm} on {args.dataset}: {fed.num_clients} clients, "
         f"{config.rounds} rounds, E={config.local_steps}, SR={config.sample_ratio}"
     )
+    tracer = Tracer() if (args.trace or args.trace_out is not None) else None
     history = run_federated(
         algorithm,
         fed,
         default_model_fn(model_name, fed.spec, seed=args.seed, scale=args.scale),
         config,
-        progress=lambda rec: (
-            print(
-                f"round {rec.round_idx:4d}  loss {rec.train_loss:.4f}"
-                + (
-                    f"  acc {rec.test_accuracy:.4f}"
-                    if rec.test_accuracy is not None
-                    else ""
-                )
-            )
-        ),
+        callbacks=[_print_round],
+        tracer=tracer,
+    )
+    run_name = f"{args.algorithm}-{args.dataset}-seed{args.seed}"
+    _report_run(history, tracer, args.trace_out, run_name)
+    return 0
+
+
+def _parse_override_value(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _command_preset(args) -> int:
+    overrides = {}
+    for item in args.overrides:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        overrides[key] = _parse_override_value(value)
+    preset = RUN_PRESETS[args.name]
+    print(f"{args.name}: {preset.description}")
+    trace = args.trace or args.trace_out is not None
+    artifacts_dir = (
+        Path(args.trace_out) / f"{args.name}-seed{args.seed}"
+        if args.trace_out is not None
+        else None
+    )
+    history, artifacts = run_preset(
+        args.name,
+        seed=args.seed,
+        overrides=overrides,
+        callbacks=[_print_round],
+        trace=trace,
+        artifacts_dir=artifacts_dir,
     )
     print(f"final accuracy: {history.final_accuracy:.4f}")
     print(f"total traffic:  {history.total_bytes():,} bytes")
+    if trace:
+        print()
+        print(format_round_table(history))
+    if artifacts is not None:
+        print(f"\nartifacts: {artifacts}")
     return 0
 
 
@@ -214,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "preset":
+        return _command_preset(args)
     if args.command == "sweep":
         return _command_sweep(args)
     if args.command == "list":

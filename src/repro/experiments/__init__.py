@@ -9,6 +9,7 @@ from repro.experiments.presets import (
     cross_silo_config,
     cross_device_config,
 )
+from repro.experiments.facade import RunPreset, RUN_PRESETS, list_presets
 from repro.experiments.runner import run_experiment, compare_algorithms, RunResult
 from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
 from repro.experiments.report import format_accuracy_table, format_curve, format_rounds_table
@@ -28,6 +29,9 @@ __all__ = [
     "default_model_fn",
     "cross_silo_config",
     "cross_device_config",
+    "RunPreset",
+    "RUN_PRESETS",
+    "list_presets",
     "run_experiment",
     "compare_algorithms",
     "RunResult",

@@ -1,0 +1,225 @@
+"""Single public entry point for named, runnable experiments.
+
+:func:`run_experiment` resolves a :class:`RunPreset` from the
+:data:`RUN_PRESETS` registry, builds the federation / model / config /
+algorithm it describes, runs one federated job, and (optionally) writes
+run artifacts — so examples and the CLI don't each re-implement the
+builder plumbing.
+
+    import repro
+    history, artifacts = repro.run_experiment(
+        "quickstart", seed=0, overrides={"algorithm": "fedavg"}, trace=True
+    )
+
+``overrides`` keys are routed by name: :class:`RunPreset` fields
+(``dataset``, ``algorithm``, ``clients``, ``similarity``, ...) override
+the preset, :class:`~repro.fl.config.FLConfig` fields (``rounds``,
+``lr``, ...) override the training config, and anything else is passed
+to the algorithm constructor (``lam``, ``mu``, ``q``, ``eta_g``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.algorithms import make_algorithm
+from repro.data.dataset import FederatedDataset
+from repro.exceptions import ConfigError
+from repro.experiments.presets import (
+    build_femnist_federation,
+    build_image_federation,
+    build_sent140_federation,
+    cross_device_config,
+    cross_silo_config,
+    default_model_fn,
+)
+from repro.fl.config import FLConfig
+from repro.fl.metrics import History
+from repro.fl.trainer import run_federated
+from repro.obs.exporters import write_run_artifacts
+from repro.obs.trace import Tracer
+
+
+@dataclass(frozen=True)
+class RunPreset:
+    """One named, directly runnable experiment configuration."""
+
+    name: str
+    description: str
+    dataset: str = "synth_mnist"
+    algorithm: str = "rfedavg+"
+    algorithm_kwargs: dict = field(default_factory=dict)
+    model: str | None = None  # None: mlp for images, lstm for sequences
+    scale: float = 1.0
+    clients: int = 10
+    similarity: float = 0.0  # image datasets only
+    iid: bool = False  # sent140 / femnist only
+    num_train: int = 2000
+    num_test: int = 400
+    scenario: str = "cross_silo"  # 'cross_silo' | 'cross_device'
+    config: dict = field(default_factory=dict)
+
+
+RUN_PRESETS: dict[str, RunPreset] = {
+    preset.name: preset
+    for preset in [
+        RunPreset(
+            "quickstart",
+            "rFedAvg+ on fully non-IID synth-MNIST, example scale",
+            dataset="synth_mnist",
+            algorithm="rfedavg+",
+            algorithm_kwargs={"lam": 1e-3},
+            config=dict(rounds=60, batch_size=32, lr=0.5, eval_every=5),
+        ),
+        RunPreset(
+            "cifar-noniid",
+            "rFedAvg+ on fully non-IID synth-CIFAR (Table I column, example scale)",
+            dataset="synth_cifar",
+            algorithm="rfedavg+",
+            algorithm_kwargs={"lam": 1e-3},
+            config=dict(rounds=60, batch_size=32, lr=0.5, eval_every=4),
+        ),
+        RunPreset(
+            "sent140-lstm",
+            "LSTM + RMSProp on naturally non-IID synth-Sent140",
+            dataset="synth_sent140",
+            algorithm="rfedavg+",
+            algorithm_kwargs={"lam": 0.1},
+            clients=20,
+            scale=0.25,
+            config=dict(rounds=20, batch_size=16, optimizer="rmsprop", lr=0.01,
+                        eval_every=5),
+        ),
+        RunPreset(
+            "femnist-device",
+            "Cross-device FEMNIST (writer-skewed, 20% participation)",
+            dataset="synth_femnist",
+            algorithm="rfedavg+",
+            algorithm_kwargs={"lam": 1e-3},
+            clients=50,
+            scale=0.25,
+            scenario="cross_device",
+            config=dict(rounds=30, eval_every=5),
+        ),
+    ]
+}
+
+_PRESET_FIELDS = {f.name for f in fields(RunPreset)} - {"name", "description", "config",
+                                                        "algorithm_kwargs"}
+_CONFIG_FIELDS = {f.name for f in fields(FLConfig)}
+
+
+def list_presets() -> Sequence[RunPreset]:
+    """The registered presets, in registration order."""
+    return list(RUN_PRESETS.values())
+
+
+def _resolve(name: str, overrides: dict | None) -> tuple[RunPreset, dict, dict]:
+    """Split overrides into (preset, config overrides, algorithm kwargs)."""
+    if name not in RUN_PRESETS:
+        raise ConfigError(
+            f"unknown experiment {name!r}; choose from {sorted(RUN_PRESETS)}"
+        )
+    preset = RUN_PRESETS[name]
+    config_overrides: dict = {}
+    algorithm_kwargs = dict(preset.algorithm_kwargs)
+    preset_updates: dict = {}
+    for key, value in (overrides or {}).items():
+        if key in _PRESET_FIELDS:
+            preset_updates[key] = value
+        elif key in _CONFIG_FIELDS:
+            config_overrides[key] = value
+        else:
+            algorithm_kwargs[key] = value
+    if preset_updates.get("algorithm", preset.algorithm) != preset.algorithm:
+        # Switching algorithms drops the preset's method-specific kwargs
+        # (e.g. rfedavg+'s lam makes no sense for fedavg).
+        algorithm_kwargs = {
+            k: v for k, v in algorithm_kwargs.items()
+            if k not in preset.algorithm_kwargs or k in (overrides or {})
+        }
+    if preset_updates:
+        preset = replace(preset, **preset_updates)
+    return preset, config_overrides, algorithm_kwargs
+
+
+def _build_federation(preset: RunPreset, seed: int) -> FederatedDataset:
+    if preset.dataset in ("synth_mnist", "synth_cifar"):
+        return build_image_federation(
+            preset.dataset,
+            num_clients=preset.clients,
+            similarity=preset.similarity,
+            num_train=preset.num_train,
+            num_test=preset.num_test,
+            seed=seed,
+        )
+    if preset.dataset == "synth_sent140":
+        return build_sent140_federation(
+            num_users=preset.clients, iid=preset.iid, seed=seed
+        )
+    if preset.dataset == "synth_femnist":
+        return build_femnist_federation(
+            num_writers=preset.clients, iid=preset.iid, seed=seed
+        )
+    raise ConfigError(f"unknown dataset {preset.dataset!r}")
+
+
+def run_experiment(
+    name: str,
+    *,
+    seed: int = 0,
+    overrides: dict | None = None,
+    callbacks=None,
+    trace: bool = False,
+    artifacts_dir: str | Path | None = None,
+) -> tuple[History, Path | None]:
+    """Run the named experiment preset; return ``(history, artifacts_path)``.
+
+    Args:
+        name: a :data:`RUN_PRESETS` key (see :func:`list_presets`).
+        seed: master seed (fed partition, model init, round sampling).
+        overrides: preset / config / algorithm overrides, routed by key.
+        callbacks: per-round callables forwarded to
+            :func:`~repro.fl.trainer.run_federated`.
+        trace: collect spans + metrics and persist run artifacts
+            (default directory ``runs/<name>-seed<seed>``).
+        artifacts_dir: where to write artifacts (implies persistence
+            even without ``trace``; with ``trace`` overrides the default
+            directory).
+
+    Returns:
+        The run's :class:`History` and the artifact directory (``None``
+        when nothing was persisted).
+    """
+    preset, config_overrides, algorithm_kwargs = _resolve(name, overrides)
+
+    fed = _build_federation(preset, seed)
+    base_config = (
+        cross_device_config if preset.scenario == "cross_device" else cross_silo_config
+    )
+    config = base_config(**{**preset.config, **config_overrides, "seed": seed})
+    model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
+    model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)
+    try:
+        algorithm = make_algorithm(preset.algorithm, **algorithm_kwargs)
+    except TypeError as exc:
+        # An override that matched neither a preset nor a config field
+        # was routed here; surface it as a config problem, not a crash.
+        raise ConfigError(
+            f"bad overrides for algorithm {preset.algorithm!r}: {exc}"
+        ) from exc
+
+    tracer = Tracer() if trace else None
+    history = run_federated(
+        algorithm, fed, model_fn, config, callbacks=callbacks, tracer=tracer
+    )
+
+    artifacts_path: Path | None = None
+    if trace or artifacts_dir is not None:
+        out_dir = Path(artifacts_dir) if artifacts_dir is not None else (
+            Path("runs") / f"{name}-seed{seed}"
+        )
+        artifacts_path = write_run_artifacts(out_dir, history, tracer)
+    return history, artifacts_path

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -13,6 +14,8 @@ from repro.fl.config import FLConfig
 from repro.fl.metrics import History
 from repro.fl.trainer import run_federated
 from repro.models.split import SplitModel
+from repro.obs.exporters import write_run_artifacts
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -21,6 +24,7 @@ class RunResult:
 
     algorithm: str
     histories: list[History] = field(default_factory=list)
+    artifact_dirs: list[Path] = field(default_factory=list)
 
     def accuracy_mean_std(self, tail: int = 3) -> tuple[float, float]:
         """Mean +/- std of tail-averaged accuracy across repeats
@@ -60,6 +64,7 @@ def run_experiment(
     repeats: int = 1,
     eval_per_client: bool = False,
     config_override: dict | None = None,
+    trace_out: str | Path | None = None,
     **algorithm_kwargs,
 ) -> RunResult:
     """Run one algorithm ``repeats`` times with varied seeds.
@@ -76,6 +81,9 @@ def run_experiment(
             paper itself tunes some methods separately (e.g. FedProx's
             learning rate on cross-device Sent140), and SCAFFOLD needs a
             smaller local lr to stay stable.
+        trace_out: when given, each repeat runs traced and persists its
+            artifacts (events.jsonl, summary.json, rounds.csv) under
+            ``trace_out/<algorithm>-rep<k>/``.
         **algorithm_kwargs: algorithm hyperparameters (lam, mu, q, ...).
     """
     if config_override:
@@ -85,14 +93,19 @@ def run_experiment(
         seed = config.seed + 1000 * rep
         fed = fed_builder(seed)
         algorithm = make_algorithm(algorithm_name, **algorithm_kwargs)
+        tracer = Tracer() if trace_out is not None else None
         history = run_federated(
             algorithm,
             fed,
             model_fn_builder(fed, seed),
             config.with_updates(seed=seed),
             eval_per_client=eval_per_client,
+            tracer=tracer,
         )
         result.histories.append(history)
+        if trace_out is not None:
+            out_dir = Path(trace_out) / f"{algorithm_name}-rep{rep}"
+            result.artifact_dirs.append(write_run_artifacts(out_dir, history, tracer))
     return result
 
 

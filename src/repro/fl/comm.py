@@ -5,13 +5,18 @@ Every vector that crosses the client-server boundary is charged to a
 uplink = clients to server) and payload kind ('model', 'delta',
 'control', 'scalar').  The efficiency evaluation (Table III, Fig. 10)
 reads these ledgers.
+
+The byte totals live in :class:`repro.obs.metrics.MetricsRegistry`
+counters rather than a private dict, so a traced run (which shares its
+tracer's registry with the ledger) exports ``comm.bytes{...}`` counters
+alongside its spans for free.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
+
+from repro.obs.metrics import Counter, MetricsRegistry
 
 
 def vector_bytes(size: int, dtype_bytes: int = 4) -> int:
@@ -25,24 +30,54 @@ class CommLedger:
     DOWN = "down"
     UP = "up"
 
-    def __init__(self, dtype_bytes: int = 4) -> None:
+    def __init__(self, dtype_bytes: int = 4, metrics: MetricsRegistry | None = None) -> None:
         self.dtype_bytes = dtype_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._round_totals: list[dict[str, int]] = []
-        self._current: dict[str, int] = defaultdict(int)
+        self._counters: dict[str, Counter] = {}
+        self._round_start: dict[str, int] = {}
+        # Pre-create the direction totals so even an idle round reports
+        # explicit up/down zeros.
+        for direction in (self.DOWN, self.UP):
+            self._counter(direction)
+
+    def _counter(self, key: str) -> Counter:
+        """Registry counter for a ledger key ('down' or 'down:model')."""
+        counter = self._counters.get(key)
+        if counter is None:
+            if ":" in key:
+                direction, kind = key.split(":", 1)
+                counter = self.metrics.counter("comm.bytes", direction=direction, kind=kind)
+            else:
+                counter = self.metrics.counter("comm.bytes", direction=key)
+            self._counters[key] = counter
+            # A shared registry may carry traffic from an earlier run;
+            # only this ledger's increments count toward its rounds.
+            self._round_start.setdefault(key, counter.value)
+        return counter
 
     def charge(self, direction: str, kind: str, num_scalars: int, copies: int = 1) -> None:
         """Charge ``copies`` transmissions of a ``num_scalars`` vector."""
         if direction not in (self.DOWN, self.UP):
             raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
         payload = vector_bytes(num_scalars, self.dtype_bytes) * copies
-        self._current[f"{direction}:{kind}"] += payload
-        self._current[direction] += payload
+        self._counter(f"{direction}:{kind}").inc(payload)
+        self._counter(direction).inc(payload)
 
     def end_round(self) -> dict[str, int]:
-        """Close the current round; returns its totals."""
-        totals = dict(self._current)
+        """Close the current round; returns its totals.
+
+        The result always contains explicit ``'up'`` and ``'down'``
+        entries (zero on an idle round); per-kind keys appear only when
+        charged this round.
+        """
+        totals: dict[str, int] = {}
+        for key, counter in self._counters.items():
+            charged = counter.value - self._round_start[key]
+            if charged or key in (self.DOWN, self.UP):
+                totals[key] = charged
+            self._round_start[key] = counter.value
         self._round_totals.append(totals)
-        self._current = defaultdict(int)
         return totals
 
     @property
@@ -55,7 +90,7 @@ class CommLedger:
     def total(self, key: str | None = None) -> int:
         """Total bytes over all closed rounds (optionally one key)."""
         if key is None:
-            return sum(r.get(self.DOWN, 0) + r.get(self.UP, 0) for r in self._round_totals)
+            return sum(r[self.DOWN] + r[self.UP] for r in self._round_totals)
         return sum(r.get(key, 0) for r in self._round_totals)
 
     def per_round_series(self, key: str) -> np.ndarray:

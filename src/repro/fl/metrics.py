@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
@@ -22,6 +22,24 @@ class RoundRecord:
     bytes_down: int = 0
     bytes_up: int = 0
     num_selected: int = 0
+
+    # -- persistence --------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (plain python scalars)."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RoundRecord":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass
@@ -92,7 +110,12 @@ class History:
 
     # -- persistence --------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-serializable representation of the full history."""
+        """JSON-serializable representation of the full history.
+
+        Numpy arrays become lists, so the output is diffable and the
+        :meth:`from_dict` round-trip is exact (python floats round-trip
+        through JSON bit-for-bit).
+        """
         return {
             "algorithm": self.algorithm,
             "final_accuracy": self.final_accuracy,
@@ -101,8 +124,27 @@ class History:
                 if self.per_client_accuracy is not None
                 else None
             ),
-            "records": [asdict(r) for r in self.records],
+            "records": [r.to_dict() for r in self.records],
         }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        """Inverse of :meth:`to_dict`; extra top-level keys (e.g. the
+        ``trace`` section of a run-artifact summary) are ignored."""
+        history = cls(algorithm=data["algorithm"])
+        history.final_accuracy = data.get("final_accuracy")
+        if data.get("per_client_accuracy") is not None:
+            history.per_client_accuracy = np.array(data["per_client_accuracy"])
+        for record in data.get("records", []):
+            history.append(RoundRecord.from_dict(record))
+        return history
+
+    @classmethod
+    def from_json(cls, text: str) -> "History":
+        return cls.from_dict(json.loads(text))
 
     def save_json(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -111,14 +153,7 @@ class History:
     @classmethod
     def load_json(cls, path: str) -> "History":
         with open(path) as handle:
-            data = json.load(handle)
-        history = cls(algorithm=data["algorithm"])
-        history.final_accuracy = data["final_accuracy"]
-        if data["per_client_accuracy"] is not None:
-            history.per_client_accuracy = np.array(data["per_client_accuracy"])
-        for record in data["records"]:
-            history.append(RoundRecord(**record))
-        return history
+            return cls.from_dict(json.load(handle))
 
     def save_csv(self, path: str) -> None:
         """One row per round, spreadsheet-friendly."""

@@ -1,15 +1,23 @@
 """The federated protocol loop.
 
-:func:`run_federated` drives a full training run: round-by-round client
+:func:`run_federated` drives a full training job: round-by-round client
 sampling, one algorithm round, periodic evaluation of the global model,
 and metric / communication bookkeeping.  It is algorithm-agnostic — all
 method-specific behaviour lives in :mod:`repro.algorithms`.
+
+Observability: pass a :class:`repro.obs.Tracer` and every round emits a
+nested span tree (``round`` > ``sample`` / ``broadcast`` /
+``local_train`` per client / ``aggregate`` / ``eval``) plus byte
+counters fed by the algorithm's communication ledger.  The default
+:data:`~repro.obs.trace.NULL_TRACER` keeps the untraced path free of
+overhead.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable
+import warnings
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -23,6 +31,9 @@ from repro.fl.metrics import History, RoundRecord
 from repro.fl.sampling import sample_clients
 from repro.models.split import SplitModel
 from repro.nn.serialization import set_flat_params
+from repro.obs.trace import NULL_TRACER
+
+RoundCallback = Callable[[RoundRecord], None]
 
 
 def run_federated(
@@ -30,9 +41,12 @@ def run_federated(
     fed: FederatedDataset,
     model_fn: Callable[[], SplitModel],
     config: FLConfig,
+    *,
     eval_per_client: bool = False,
-    progress: Callable[[RoundRecord], None] | None = None,
+    callbacks: Sequence[RoundCallback] | None = None,
     selector=None,
+    tracer=None,
+    progress: RoundCallback | None = None,
 ) -> History:
     """Run one federated training job and return its :class:`History`.
 
@@ -44,13 +58,33 @@ def run_federated(
         config: federated hyperparameters.
         eval_per_client: additionally evaluate the final global model on
             each client's local shard (fairness analysis, Fig. 11).
-        progress: optional per-round callback (e.g. printing).
+        callbacks: per-round callables, each invoked with the finished
+            :class:`RoundRecord` (printing, early-stopping bookkeeping,
+            custom metric sinks).
         selector: optional :class:`~repro.fl.selection.ClientSelector`;
             defaults to uniform sampling at ``config.sample_ratio``.
+        tracer: optional :class:`repro.obs.Tracer`; when given, rounds
+            emit span trees, the ledger shares the tracer's metric
+            registry, and the tracer observes every round record.
+        progress: deprecated single callback; use ``callbacks=[fn]``.
     """
     from repro.fl.selection import SelectionContext
 
+    round_callbacks: list[RoundCallback] = list(callbacks) if callbacks else []
+    if progress is not None:
+        warnings.warn(
+            "run_federated(progress=...) is deprecated; pass callbacks=[fn] instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        round_callbacks.append(progress)
+    if tracer is None:
+        tracer = NULL_TRACER
+    if tracer.enabled:
+        round_callbacks.append(tracer.on_round)
+
     model = model_fn()
+    algorithm.tracer = tracer
     algorithm.setup(model, fed, config)
     round_rng = np.random.default_rng([config.seed, 0xF1])
 
@@ -62,49 +96,63 @@ def run_federated(
 
     history = History(algorithm=algorithm.name)
     for round_idx in range(config.rounds):
-        if selector is None:
-            selected = sample_clients(fed.num_clients, config.sample_ratio, round_rng)
-        else:
-            context = SelectionContext(
-                round_idx=round_idx, fed=fed, rng=round_rng, client_loss=client_loss
-            )
-            selected = np.asarray(selector.select(context), dtype=np.int64)
-        started = time.perf_counter()
-        stats = algorithm.run_round(round_idx, selected)
-        elapsed = time.perf_counter() - started
-        assert algorithm.ledger is not None
-        round_comm = algorithm.ledger.end_round()
+        with tracer.span("round", round=round_idx):
+            with tracer.span("sample"):
+                if selector is None:
+                    selected = sample_clients(
+                        fed.num_clients, config.sample_ratio, round_rng
+                    )
+                else:
+                    context = SelectionContext(
+                        round_idx=round_idx, fed=fed, rng=round_rng,
+                        client_loss=client_loss,
+                    )
+                    selected = np.asarray(selector.select(context), dtype=np.int64)
+            if tracer.enabled:
+                for client_id in selected:
+                    tracer.metrics.counter(
+                        "clients.selected", client=int(client_id)
+                    ).inc()
+            started = time.perf_counter()
+            stats = algorithm.run_round(round_idx, selected)
+            elapsed = time.perf_counter() - started
+            assert algorithm.ledger is not None
+            round_comm = algorithm.ledger.end_round()
 
-        record = RoundRecord(
-            round_idx=round_idx,
-            train_loss=stats.train_loss,
-            reg_loss=stats.reg_loss,
-            wall_time_sec=elapsed,
-            bytes_down=round_comm.get("down", 0),
-            bytes_up=round_comm.get("up", 0),
-            num_selected=len(selected),
-        )
-        is_eval_round = (
-            round_idx % config.eval_every == 0 or round_idx == config.rounds - 1
-        )
-        if is_eval_round:
-            assert algorithm.global_params is not None
-            set_flat_params(model, algorithm.global_params)
-            test_loss, test_acc = evaluate_model(model, fed.test, config.eval_batch)
-            record.test_loss = test_loss
-            record.test_accuracy = test_acc
-        history.append(record)
-        if progress is not None:
-            progress(record)
+            record = RoundRecord(
+                round_idx=round_idx,
+                train_loss=stats.train_loss,
+                reg_loss=stats.reg_loss,
+                wall_time_sec=elapsed,
+                bytes_down=round_comm["down"],
+                bytes_up=round_comm["up"],
+                num_selected=len(selected),
+            )
+            is_eval_round = (
+                round_idx % config.eval_every == 0 or round_idx == config.rounds - 1
+            )
+            if is_eval_round:
+                with tracer.span("eval"):
+                    assert algorithm.global_params is not None
+                    set_flat_params(model, algorithm.global_params)
+                    test_loss, test_acc = evaluate_model(
+                        model, fed.test, config.eval_batch
+                    )
+                    record.test_loss = test_loss
+                    record.test_accuracy = test_acc
+            history.append(record)
+            for callback in round_callbacks:
+                callback(record)
 
     history.final_accuracy = history.last_accuracy()
     if eval_per_client:
-        assert algorithm.global_params is not None
-        set_flat_params(model, algorithm.global_params)
-        per_client = np.zeros(fed.num_clients)
-        eval_sets = fed.client_test if fed.client_test else fed.clients
-        for k, shard in enumerate(eval_sets):
-            _loss, acc = evaluate_model(model, shard, config.eval_batch)
-            per_client[k] = acc
-        history.per_client_accuracy = per_client
+        with tracer.span("eval_per_client"):
+            assert algorithm.global_params is not None
+            set_flat_params(model, algorithm.global_params)
+            per_client = np.zeros(fed.num_clients)
+            eval_sets = fed.client_test if fed.client_test else fed.clients
+            for k, shard in enumerate(eval_sets):
+                _loss, acc = evaluate_model(model, shard, config.eval_batch)
+                per_client[k] = acc
+            history.per_client_accuracy = per_client
     return history

@@ -1,0 +1,178 @@
+"""Named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` hands out metric instances memoized by
+``(name, labels)``, so hot paths can cache the handle once and call
+``inc`` / ``set`` / ``observe`` without any lookup.  Everything is
+protected by one registry lock at *creation* time only; updates on the
+individual instances are plain attribute writes (atomic enough under the
+GIL for the integer/float accumulators used here).
+
+The communication ledger (:mod:`repro.fl.comm`) keeps its byte totals in
+registry counters, the tracer records per-round gauges through
+:meth:`repro.obs.trace.Tracer.on_round`, and the layer profiler
+accumulates per-layer-type time histograms.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+def _key(name: str, labels: dict) -> str:
+    """Canonical string key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing accumulator."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.key}: cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value metric (e.g. the current round's train loss)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary statistics of an observed quantity.
+
+    Keeps count / sum / min / max plus the sum of squares, which is
+    enough for mean and standard deviation without storing samples.
+    """
+
+    __slots__ = ("key", "count", "total", "total_sq", "min", "max")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def std(self) -> float:
+        if not self.count:
+            return float("nan")
+        var = max(self.total_sq / self.count - self.mean() ** 2, 0.0)
+        return math.sqrt(var)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean() if self.count else None,
+            "std": self.std() if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Creates and memoizes metrics by name + labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def _get(self, store: dict, cls, name: str, labels: dict):
+        key = _key(name, labels)
+        metric = store.get(key)
+        if metric is None:
+            with self._lock:
+                metric = store.setdefault(key, cls(key))
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(self.counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(self.gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(self.histograms, Histogram, name, labels)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric's current state."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
+        }
+
+
+class _NullMetric:
+    """Accepts every update and keeps nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """Registry stand-in used by :class:`repro.obs.trace.NullTracer`.
+
+    Every accessor returns one shared do-nothing instance, so the
+    disabled path never allocates.
+    """
+
+    def counter(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

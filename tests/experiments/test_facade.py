@@ -1,0 +1,104 @@
+"""Tests for the repro.run_experiment facade."""
+
+import pytest
+
+import repro
+from repro.exceptions import ConfigError
+from repro.experiments.facade import RUN_PRESETS, _resolve, list_presets
+from repro.fl.metrics import History
+
+TINY = {
+    "rounds": 2, "local_steps": 1, "batch_size": 8, "eval_every": 1,
+    "clients": 4, "num_train": 160, "num_test": 60, "scale": 0.25,
+}
+
+
+def test_presets_registered():
+    names = [p.name for p in list_presets()]
+    assert "quickstart" in names and "cifar-noniid" in names
+    assert all(p.description for p in list_presets())
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigError, match="unknown experiment"):
+        repro.run_experiment("nope")
+
+
+def test_override_routing():
+    preset, config_overrides, algorithm_kwargs = _resolve(
+        "quickstart", {"rounds": 5, "clients": 3, "lam": 0.5}
+    )
+    assert preset.clients == 3  # preset field
+    assert config_overrides == {"rounds": 5}  # FLConfig field
+    assert algorithm_kwargs == {"lam": 0.5}  # algorithm kwarg wins over preset
+
+
+def test_switching_algorithm_drops_preset_specific_kwargs():
+    preset, _config, algorithm_kwargs = _resolve(
+        "quickstart", {"algorithm": "fedavg"}
+    )
+    assert preset.algorithm == "fedavg"
+    assert "lam" not in algorithm_kwargs  # rfedavg+'s lam must not leak
+    _preset, _config, kwargs = _resolve(
+        "quickstart", {"algorithm": "fedprox", "mu": 0.1}
+    )
+    assert kwargs == {"mu": 0.1}
+
+
+def test_unknown_override_key_is_a_config_error():
+    with pytest.raises(ConfigError, match="bogus_knob"):
+        repro.run_experiment("quickstart", overrides={**TINY, "bogus_knob": 3})
+
+
+def test_run_experiment_returns_history(tmp_path):
+    history, artifacts = repro.run_experiment("quickstart", seed=1, overrides=TINY)
+    assert isinstance(history, History)
+    assert len(history.records) == 2
+    assert artifacts is None  # nothing persisted by default
+
+
+def test_run_experiment_same_seed_reproduces():
+    hist_a, _ = repro.run_experiment("quickstart", seed=2, overrides=TINY)
+    hist_b, _ = repro.run_experiment("quickstart", seed=2, overrides=TINY)
+    # wall_time_sec is the only nondeterministic field.
+    assert hist_a.train_losses().tolist() == hist_b.train_losses().tolist()
+    assert hist_a.final_accuracy == hist_b.final_accuracy
+    assert [r.bytes_down for r in hist_a.records] == [
+        r.bytes_down for r in hist_b.records
+    ]
+
+
+def test_run_experiment_traced_artifacts(tmp_path):
+    out = tmp_path / "artifacts"
+    history, artifacts = repro.run_experiment(
+        "quickstart", seed=1, overrides=TINY, trace=True, artifacts_dir=out
+    )
+    assert artifacts == out
+    assert {p.name for p in out.iterdir()} == {
+        "summary.json", "rounds.csv", "events.jsonl"
+    }
+    reloaded = History.from_json((out / "summary.json").read_text())
+    assert reloaded.to_dict() == history.to_dict()
+
+
+def test_run_experiment_callbacks_forwarded():
+    seen = []
+    repro.run_experiment(
+        "quickstart", seed=1, overrides=TINY,
+        callbacks=[lambda rec: seen.append(rec.round_idx)],
+    )
+    assert seen == [0, 1]
+
+
+def test_run_experiment_switches_algorithm():
+    history, _ = repro.run_experiment(
+        "quickstart", seed=1, overrides={**TINY, "algorithm": "fedavg"}
+    )
+    assert history.algorithm == "fedavg"
+
+
+def test_top_level_lazy_exports():
+    assert repro.run_experiment is not None
+    assert callable(repro.list_presets)
+    with pytest.raises(AttributeError):
+        repro.does_not_exist

@@ -56,3 +56,45 @@ def test_total_counts_both_directions():
     ledger.charge(CommLedger.DOWN, "model", 4)
     ledger.end_round()
     assert ledger.total() == 7
+
+
+def test_idle_round_reports_explicit_zeros():
+    ledger = CommLedger(dtype_bytes=1)
+    totals = ledger.end_round()
+    assert totals == {"down": 0, "up": 0}
+    # Direct indexing must work without .get() fallbacks at call sites.
+    assert totals["down"] == 0 and totals["up"] == 0
+
+
+def test_one_sided_round_still_reports_both_directions():
+    ledger = CommLedger(dtype_bytes=1)
+    ledger.charge(CommLedger.DOWN, "model", 10)
+    totals = ledger.end_round()
+    assert totals["up"] == 0
+    assert totals["down"] == 10
+    assert totals["down:model"] == 10
+
+
+def test_ledger_feeds_shared_metrics_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    ledger = CommLedger(dtype_bytes=1, metrics=registry)
+    ledger.charge(CommLedger.DOWN, "model", 10, copies=2)
+    ledger.charge(CommLedger.UP, "delta", 5)
+    counters = registry.snapshot()["counters"]
+    assert counters["comm.bytes{direction=down}"] == 20
+    assert counters["comm.bytes{direction=down,kind=model}"] == 20
+    assert counters["comm.bytes{direction=up}"] == 5
+    assert counters["comm.bytes{direction=up,kind=delta}"] == 5
+
+
+def test_shared_registry_with_prior_traffic_stays_isolated():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("comm.bytes", direction="down").inc(999)
+    ledger = CommLedger(dtype_bytes=1, metrics=registry)
+    ledger.charge(CommLedger.DOWN, "model", 10)
+    totals = ledger.end_round()
+    assert totals["down"] == 10  # the pre-existing 999 is not this ledger's

@@ -90,6 +90,50 @@ def test_json_roundtrip_with_per_client(tmp_path):
     np.testing.assert_array_equal(loaded.per_client_accuracy, [0.4, 0.6])
 
 
+def test_round_record_dict_roundtrip():
+    rec = RoundRecord(round_idx=2, train_loss=0.5, reg_loss=0.1,
+                      wall_time_sec=0.25, bytes_down=40, bytes_up=20,
+                      num_selected=4, test_accuracy=0.7, test_loss=0.6)
+    assert RoundRecord.from_dict(rec.to_dict()) == rec
+
+
+def test_round_record_json_roundtrip_is_exact():
+    rec = RoundRecord(round_idx=0, train_loss=1 / 3, test_accuracy=0.125)
+    assert RoundRecord.from_json(rec.to_json()) == rec
+
+
+def test_round_record_from_dict_ignores_unknown_keys():
+    rec = RoundRecord(round_idx=1, train_loss=0.5)
+    data = rec.to_dict()
+    data["someday_field"] = "whatever"
+    assert RoundRecord.from_dict(data) == rec
+
+
+def test_history_json_string_roundtrip_is_exact():
+    hist = _history_with_accs([0.2, 0.5, 0.8])
+    hist.final_accuracy = 0.8
+    hist.per_client_accuracy = np.array([0.25, 0.75])
+    reloaded = History.from_json(hist.to_json())
+    assert reloaded.to_dict() == hist.to_dict()
+    assert isinstance(reloaded.per_client_accuracy, np.ndarray)
+
+
+def test_history_from_json_ignores_extra_sections():
+    hist = _history_with_accs([0.4])
+    data = hist.to_dict()
+    data["trace"] = {"spans": {}, "metrics": {}}
+    reloaded = History.from_dict(data)
+    assert reloaded.to_dict() == hist.to_dict()
+
+
+def test_history_to_dict_is_json_safe():
+    import json
+
+    hist = _history_with_accs([0.5])
+    hist.per_client_accuracy = np.array([0.5, 0.5])
+    json.dumps(hist.to_dict())  # numpy arrays must be converted to lists
+
+
 def test_csv_export(tmp_path):
     hist = _history_with_accs([0.3, 0.6])
     path = str(tmp_path / "history.csv")

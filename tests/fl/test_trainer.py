@@ -7,6 +7,7 @@ from repro.algorithms import FedAvg, make_algorithm
 from repro.fl.config import FLConfig
 from repro.fl.trainer import run_federated
 from repro.models import build_mlp
+from repro.obs import Tracer
 
 
 def _model_fn(fed, seed=0):
@@ -73,13 +74,85 @@ def test_eval_per_client(toy_federation, fast_config):
     assert np.all((history.per_client_accuracy >= 0) & (history.per_client_accuracy <= 1))
 
 
-def test_progress_callback_invoked(toy_federation, fast_config):
-    seen = []
+def test_round_callbacks_invoked(toy_federation, fast_config):
+    seen, also = [], []
     run_federated(
         FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
-        progress=lambda rec: seen.append(rec.round_idx),
+        callbacks=[
+            lambda rec: seen.append(rec.round_idx),
+            lambda rec: also.append(rec.train_loss),
+        ],
     )
     assert seen == list(range(fast_config.rounds))
+    assert len(also) == fast_config.rounds
+
+
+def test_progress_keyword_deprecated_but_works(toy_federation, fast_config):
+    seen = []
+    with pytest.warns(DeprecationWarning, match="callbacks"):
+        run_federated(
+            FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
+            progress=lambda rec: seen.append(rec.round_idx),
+        )
+    assert seen == list(range(fast_config.rounds))
+
+
+def test_optional_params_are_keyword_only(toy_federation, fast_config):
+    with pytest.raises(TypeError):
+        run_federated(
+            FedAvg(), toy_federation, _model_fn(toy_federation), fast_config, True
+        )
+
+
+def test_traced_run_emits_expected_span_sequence(toy_federation, fast_config):
+    tracer = Tracer()
+    run_federated(
+        FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
+        tracer=tracer,
+    )
+    # One root span per round, each carrying the protocol phases in order.
+    assert [root.name for root in tracer.roots] == ["round"] * fast_config.rounds
+    for round_idx, root in enumerate(tracer.roots):
+        assert root.attrs["round"] == round_idx
+        phases = [child.name for child in root.children]
+        trains = [p for p in phases if p == "local_train"]
+        assert len(trains) == toy_federation.num_clients
+        # sample -> broadcast -> local_train... -> aggregate -> eval.
+        assert phases[0] == "sample"
+        assert phases[1] == "broadcast"
+        assert phases[-2] == "aggregate"
+        assert phases[-1] == "eval"  # eval_every=1 in fast_config
+        assert all(child.duration >= 0 for child in root.children)
+    clients = sorted(
+        child.attrs["client"]
+        for child in tracer.roots[0].children
+        if child.name == "local_train"
+    )
+    assert clients == list(range(toy_federation.num_clients))
+
+
+def test_traced_run_counts_bytes_and_rounds(toy_federation, fast_config):
+    tracer = Tracer()
+    history = run_federated(
+        FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
+        tracer=tracer,
+    )
+    snap = tracer.metrics.snapshot()
+    assert snap["counters"]["rounds.completed"] == fast_config.rounds
+    down = snap["counters"]['comm.bytes{direction=down}']
+    up = snap["counters"]['comm.bytes{direction=up}']
+    assert down == sum(r.bytes_down for r in history.records)
+    assert up == sum(r.bytes_up for r in history.records)
+
+
+def test_traced_matches_untraced_trajectory(toy_federation, fast_config):
+    plain = run_federated(FedAvg(), toy_federation, _model_fn(toy_federation), fast_config)
+    traced = run_federated(
+        FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
+        tracer=Tracer(),
+    )
+    np.testing.assert_array_equal(plain.train_losses(), traced.train_losses())
+    assert plain.final_accuracy == traced.final_accuracy
 
 
 def test_learning_happens_on_iid_data(iid_federation):

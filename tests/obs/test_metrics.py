@@ -1,0 +1,90 @@
+"""Metrics registry tests."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    _key,
+)
+
+
+def test_key_formatting_sorts_labels():
+    assert _key("comm.bytes", {}) == "comm.bytes"
+    assert _key("comm.bytes", {"kind": "model", "direction": "up"}) == (
+        "comm.bytes{direction=up,kind=model}"
+    )
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("loss")
+    gauge.set(0.5)
+    gauge.set(0.25)
+    assert gauge.value == 0.25
+
+
+def test_histogram_streaming_statistics():
+    hist = Histogram("h")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean() == pytest.approx(2.5)
+    assert hist.std() == pytest.approx(math.sqrt(1.25))
+    assert hist.min == 1.0 and hist.max == 4.0
+    summary = hist.summary()
+    assert summary["count"] == 4 and summary["sum"] == pytest.approx(10.0)
+
+
+def test_empty_histogram_summary_is_none_safe():
+    summary = Histogram("h").summary()
+    assert summary["count"] == 0
+    assert summary["mean"] is None and summary["min"] is None
+
+
+def test_registry_memoizes_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("comm.bytes", direction="up")
+    b = registry.counter("comm.bytes", direction="up")
+    c = registry.counter("comm.bytes", direction="down")
+    assert a is b
+    assert a is not c
+    a.inc(10)
+    assert registry.counter("comm.bytes", direction="up").value == 10
+
+
+def test_snapshot_is_json_safe_and_sorted():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    registry.gauge("g").set(0.5)
+    registry.histogram("h").observe(1.0)
+    snap = registry.snapshot()
+    json.dumps(snap)
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["gauges"]["g"] == 0.5
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_null_metrics_accepts_everything_keeps_nothing():
+    NULL_METRICS.counter("x", any_label=1).inc(5)
+    NULL_METRICS.gauge("y").set(1.0)
+    NULL_METRICS.histogram("z").observe(2.0)
+    assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    # Shared instance: accessors allocate nothing per call.
+    assert NULL_METRICS.counter("x") is NULL_METRICS.gauge("y")

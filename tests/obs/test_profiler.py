@@ -1,0 +1,101 @@
+"""Layer profiler tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_mlp
+from repro.obs.profiler import LayerProfiler, _leaf_modules
+
+
+def _model(seed=0):
+    return build_mlp(16, 4, np.random.default_rng(seed), (8,), feature_dim=8)
+
+
+def _batch(n=5):
+    return np.random.default_rng(1).normal(size=(n, 16))
+
+
+def test_leaf_modules_finds_every_layer():
+    names = [type(m).__name__ for m in _leaf_modules(_model())]
+    assert names == ["Flatten", "Linear", "ReLU", "Linear", "ReLU", "Linear"]
+
+
+def test_profile_attributes_time_per_layer_type():
+    model = _model()
+    profiler = LayerProfiler()
+    x = _batch()
+    with profiler.profile(model):
+        logits = model.forward(x)
+        model.backward(np.ones_like(logits) / len(x))
+    totals = profiler.totals()
+    assert set(totals) == {"Flatten", "Linear", "ReLU"}
+    assert totals["Linear"]["calls"] == 3  # three Linear leaves, one pass
+    assert totals["ReLU"]["calls"] == 2
+    assert totals["Linear"]["forward_sec"] > 0
+    assert totals["Linear"]["backward_sec"] > 0
+
+
+def test_detach_restores_unpatched_methods():
+    model = _model()
+    profiler = LayerProfiler()
+    profiler.attach(model)
+    leaves = _leaf_modules(model)
+    assert all("forward" in leaf.__dict__ for leaf in leaves)
+    profiler.detach()
+    assert all("forward" not in leaf.__dict__ for leaf in leaves)
+    assert all("backward" not in leaf.__dict__ for leaf in leaves)
+
+
+def test_profiled_model_is_numerically_identical():
+    x = _batch()
+    plain = _model().forward(x)
+    model = _model()
+    with LayerProfiler().profile(model):
+        profiled = model.forward(x)
+    np.testing.assert_array_equal(plain, profiled)
+    np.testing.assert_array_equal(model.forward(x), plain)  # after detach
+
+
+def test_double_attach_rejected():
+    model = _model()
+    profiler = LayerProfiler()
+    profiler.attach(model)
+    with pytest.raises(RuntimeError):
+        profiler.attach(model)
+    profiler.detach()
+    profiler.attach(model)  # fine again after detach
+    profiler.detach()
+
+
+def test_detach_happens_even_on_exception():
+    model = _model()
+    profiler = LayerProfiler()
+    with pytest.raises(ValueError):
+        with profiler.profile(model):
+            raise ValueError("boom")
+    assert profiler._patched == []
+    assert "forward" not in _leaf_modules(model)[0].__dict__
+
+
+def test_report_renders_table():
+    model = _model()
+    profiler = LayerProfiler()
+    x = _batch()
+    with profiler.profile(model):
+        model.forward(x)
+        model.backward(np.ones((len(x), 4)) / len(x))
+    report = profiler.report()
+    assert report.splitlines()[0].split() == ["layer", "calls", "fwd_ms", "bwd_ms"]
+    assert "Linear" in report
+    assert LayerProfiler().report() == "(no layers profiled)"
+
+
+def test_profiler_shares_external_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    model = _model()
+    with LayerProfiler(metrics=registry).profile(model):
+        model.forward(_batch())
+    keys = [k for k in registry.histograms if k.startswith("layer.forward_sec")]
+    assert "layer.forward_sec{layer=Linear}" in keys

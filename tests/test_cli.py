@@ -52,6 +52,67 @@ def test_run_command_sequence_dataset_defaults_to_lstm(capsys):
     assert "final accuracy" in out
 
 
+def test_run_command_trace_prints_phase_table(capsys):
+    code = main([
+        "run", "--dataset", "synth_mnist", "--algorithm", "fedavg",
+        "--clients", "4", "--rounds", "2", "--local-steps", "1",
+        "--batch-size", "8", "--eval-every", "1", "--scale", "0.25",
+        "--trace",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "train_loss" in out  # per-round table
+    assert "local_train" in out  # span summary
+    assert "aggregate" in out
+
+
+def test_run_command_trace_out_writes_artifacts(capsys, tmp_path):
+    import json
+
+    from repro.fl.metrics import History
+
+    code = main([
+        "run", "--dataset", "synth_mnist", "--algorithm", "fedavg",
+        "--clients", "4", "--rounds", "2", "--local-steps", "1",
+        "--batch-size", "8", "--eval-every", "1", "--scale", "0.25",
+        "--trace-out", str(tmp_path),
+    ])
+    assert code == 0
+    out_dir = tmp_path / "fedavg-synth_mnist-seed0"
+    assert {p.name for p in out_dir.iterdir()} == {
+        "summary.json", "rounds.csv", "events.jsonl"
+    }
+    events = [json.loads(l) for l in (out_dir / "events.jsonl").open()]
+    span_names = {e["name"] for e in events if e["type"] == "span"}
+    assert {"round", "sample", "local_train", "aggregate", "eval"} <= span_names
+    counters = {e["key"] for e in events if e["type"] == "counter"}
+    assert "comm.bytes{direction=down}" in counters
+    history = History.from_json((out_dir / "summary.json").read_text())
+    assert len(history.records) == 2
+
+
+def test_preset_command(capsys):
+    code = main([
+        "preset", "quickstart", "--seed", "1",
+        "--set", "rounds=2", "--set", "local_steps=1", "--set", "clients=4",
+        "--set", "num_train=160", "--set", "num_test=60",
+        "--set", "scale=0.25", "--set", "batch_size=8",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "final accuracy" in out
+
+
+def test_preset_command_bad_override_rejected():
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        main(["preset", "quickstart", "--set", "rounds"])
+
+
+def test_preset_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["preset", "not-a-preset"])
+
+
 def test_unknown_algorithm_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--algorithm", "magic"])
