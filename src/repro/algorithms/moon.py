@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.algorithms.base import FederatedAlgorithm
 from repro.exceptions import ConfigError
+from repro.fl.parallel import ClientUpdate
 from repro.models.split import SplitModel
 from repro.nn.serialization import get_flat_params, set_flat_params
 
@@ -159,6 +160,17 @@ class Moon(FederatedAlgorithm):
             step_offset=round_idx * self.config.local_steps,
             reg_hook=moon_hook if self.mu > 0 else None,
         )
-        params = get_flat_params(self.model)
-        self._prev_params[client_id] = params
-        return params, result
+        return get_flat_params(self.model), result
+
+    def _client_payload(
+        self, round_idx: int, client_id: int, params: np.ndarray
+    ) -> dict:
+        # The next round's "previous local model" is this round's final
+        # *local* model (the workspace still holds it; ``params`` may
+        # already be fault/compression-transformed).  Stored at commit
+        # time so the worker-side unit stays free of shared-state writes.
+        return {"prev_params": get_flat_params(self.model)}
+
+    def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        assert self._prev_params is not None
+        self._prev_params[update.client_id] = update.payload["prev_params"]

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import FederatedAlgorithm, RoundStats
+from repro.algorithms.base import FederatedAlgorithm
 from repro.exceptions import ConfigError
 from repro.fl.client import evaluate_model
 from repro.fl.comm import CommLedger
+from repro.fl.parallel import ClientUpdate
+
+_EPS = 1e-10
 
 
 class QFedAvg(FederatedAlgorithm):
@@ -36,53 +39,39 @@ class QFedAvg(FederatedAlgorithm):
             raise ConfigError(f"q must be non-negative, got {q}")
         self.q = q
 
-    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
-        self._require_setup()
-        assert (
-            self.model is not None
-            and self.fed is not None
-            and self.config is not None
-            and self.ledger is not None
-            and self.global_params is not None
+    def _client_update(self, round_idx: int, client_id: int) -> ClientUpdate:
+        assert self.model is not None and self.fed is not None and self.config is not None
+        # Loss of the *global* model on the client's data (F_k(w^t)),
+        # measured before local training starts.
+        self._load_global()
+        start_loss, _acc = evaluate_model(
+            self.model, self.fed.clients[client_id], self.config.eval_batch
         )
-        tracer = self.tracer
-        with tracer.span("broadcast"):
-            self.ledger.charge(
-                CommLedger.DOWN, "model", self.model_size, copies=len(selected)
-            )
+        update = super()._client_update(round_idx, client_id)
+        update.payload = {"start_loss": max(start_loss, _EPS)}
+        return update
 
+    def _charge_uploads(self, selected: np.ndarray, updates: list[ClientUpdate]) -> None:
+        super()._charge_uploads(selected, updates)
+        assert self.ledger is not None
+        # Each client additionally uploads its scalar h_k.
+        self.ledger.charge(CommLedger.UP, "scalar", 1, copies=len(updates))
+
+    def _aggregate_updates(
+        self, round_idx: int, selected: np.ndarray, updates: list[ClientUpdate]
+    ) -> np.ndarray:
+        assert self.config is not None and self.global_params is not None
         lipschitz = 1.0 / self.config.lr
-        eps = 1e-10
         numerators: list[np.ndarray] = []
         denominators: list[float] = []
-        task_losses: list[float] = []
-        for client_id in selected:
-            cid = int(client_id)
-            with tracer.span("local_train", client=cid):
-                # Loss of the *global* model on the client's data (F_k(w^t)).
-                self._load_global()
-                start_loss, _acc = evaluate_model(
-                    self.model, self.fed.clients[cid], self.config.eval_batch
-                )
-                start_loss = max(start_loss, eps)
-                params, result = self._train_one_client(round_idx, cid)
-            task_losses.append(result.mean_task_loss)
-            delta = lipschitz * (self.global_params - params)
+        for u in updates:
+            start_loss = u.payload["start_loss"]
+            delta = lipschitz * (self.global_params - u.params)
             f_pow_q = start_loss**self.q
             numerators.append(f_pow_q * delta)
             denominators.append(
                 self.q * start_loss ** (self.q - 1.0) * float(delta @ delta)
                 + lipschitz * f_pow_q
             )
-        # Uplink: Delta_k and the scalar h_k per client.
-        self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
-        self.ledger.charge(CommLedger.UP, "scalar", 1, copies=len(selected))
-
-        with tracer.span("aggregate"):
-            total_h = float(np.sum(denominators))
-            update = np.sum(numerators, axis=0) / max(total_h, eps)
-            self.global_params = self.global_params - update
-
-        weights = self.fed.client_sizes[selected].astype(np.float64)
-        weights /= weights.sum()
-        return RoundStats(train_loss=float(np.dot(weights, task_losses)))
+        total_h = float(np.sum(denominators))
+        return self.global_params - np.sum(numerators, axis=0) / max(total_h, _EPS)

@@ -46,15 +46,24 @@ class RegularizedAlgorithm(FederatedAlgorithm):
             fed.num_clients, model.feature_dim, dtype_bytes=config.wire_dtype_bytes
         )
 
-    def _client_delta(self, client_id: int) -> np.ndarray:
+    def _client_delta(self, round_idx: int, client_id: int, phase: int = 0) -> np.ndarray:
         """Compute (and optionally privatize) client k's mean embedding
-        under the *current workspace model* parameters."""
+        under the *current workspace model* parameters.
+
+        Privacy noise draws from a dedicated ``(round, client, phase)``
+        stream so the numbers do not depend on the order clients execute
+        in (serial/parallel equivalence); ``phase`` separates multiple
+        delta computations for the same client within one round.
+        """
         assert self.model is not None and self.fed is not None and self.config is not None
         with self.tracer.span("delta_compute", client=client_id):
             shard = self.fed.clients[client_id]
             delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
             if self.privacy is not None:
-                delta = self.privacy.privatize(delta, batch_size=len(shard))
+                rng = np.random.default_rng(
+                    [self.config.seed, round_idx, client_id, 0xD9, phase]
+                )
+                delta = self.privacy.privatize(delta, batch_size=len(shard), rng=rng)
         return delta
 
     def _traced_reg_hook(self, hook):

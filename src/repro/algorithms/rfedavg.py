@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import RoundStats
 from repro.algorithms.regularized import RegularizedAlgorithm
 from repro.core.privacy import GaussianDeltaMechanism
 from repro.core.regularizer import DistributionRegularizer
 from repro.fl.comm import CommLedger
+from repro.fl.parallel import ClientUpdate
 
 
 class RFedAvg(RegularizedAlgorithm):
@@ -62,57 +62,38 @@ class RFedAvg(RegularizedAlgorithm):
             return None
         return self.delta_table.full_table()[mask]
 
-    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
-        self._require_setup()
-        assert (
-            self.fed is not None
-            and self.ledger is not None
-            and self.delta_table is not None
-        )
-        tracer = self.tracer
+    def _charge_broadcast(self, selected: np.ndarray) -> None:
         # Downlink: model + the full (N, d) delta table per client.
-        with tracer.span("broadcast"):
-            self._charge_broadcast(selected)
-            if self.delta_table.any_reported:
-                self.ledger.charge(
-                    CommLedger.DOWN,
-                    "delta",
-                    self.fed.num_clients * self.model.feature_dim,
-                    copies=len(selected),
-                )
+        super()._charge_broadcast(selected)
+        assert (
+            self.ledger is not None
+            and self.delta_table is not None
+            and self.fed is not None
+        )
+        if self.delta_table.any_reported:
+            self.ledger.charge(
+                CommLedger.DOWN,
+                "delta",
+                self.fed.num_clients * self.model.feature_dim,
+                copies=len(selected),
+            )
 
-        updates: list[np.ndarray] = []
-        task_losses: list[float] = []
-        reg_losses: list[float] = []
-        new_deltas: dict[int, np.ndarray] = {}
-        for client_id in selected:
-            cid = int(client_id)
-            with tracer.span("local_train", client=cid):
-                params, result = self._train_one_client(
-                    round_idx, cid, reg_hook=self._reg_hook(round_idx, cid)
-                )
-                # Delta computed with the client's final *local* model — the
-                # inconsistent mapping that motivates rFedAvg+ (workspace
-                # model still holds the local parameters here).
-                new_deltas[cid] = self._client_delta(cid)
-            updates.append(params)
-            task_losses.append(result.mean_task_loss)
-            reg_losses.append(result.mean_reg_loss)
+    def _client_payload(
+        self, round_idx: int, client_id: int, params: np.ndarray
+    ) -> dict:
+        # Delta computed with the client's final *local* model — the
+        # inconsistent mapping that motivates rFedAvg+ (the workspace
+        # model still holds the local parameters here).
+        return {"delta": self._client_delta(round_idx, client_id)}
 
+    def _charge_uploads(self, selected: np.ndarray, updates: list[ClientUpdate]) -> None:
         # Uplink: model + own delta per client.
-        self._charge_upload(selected)
+        super()._charge_uploads(selected, updates)
+        assert self.ledger is not None
         self.ledger.charge(
-            CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
+            CommLedger.UP, "delta", self.model.feature_dim, copies=len(updates)
         )
 
-        with tracer.span("aggregate"):
-            self.global_params = self._aggregate(round_idx, selected, updates)
-            for cid, delta in new_deltas.items():
-                self.delta_table.update(cid, delta)
-
-        weights = self.fed.client_sizes[selected].astype(np.float64)
-        weights /= weights.sum()
-        return RoundStats(
-            train_loss=float(np.dot(weights, task_losses)),
-            reg_loss=float(np.dot(weights, reg_losses)),
-        )
+    def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        assert self.delta_table is not None
+        self.delta_table.update(update.client_id, update.payload["delta"])

@@ -47,7 +47,9 @@ class RFedAvgExact(RFedAvgPlus):
         # Refresh every client's delta from the current global model.
         self._load_global()
         for client_id in range(self.fed.num_clients):
-            self.delta_table.update(client_id, self._client_delta(client_id))
+            self.delta_table.update(
+                client_id, self._client_delta(round_idx, client_id, phase=2)
+            )
         # Charge the per-step all-pairs delta exchange the naive
         # algorithm would need: E steps x N clients x (N-1) peers.
         num_clients = self.fed.num_clients

@@ -77,7 +77,7 @@ class RFedAvgPlus(RegularizedAlgorithm):
             self._load_global()
             for client_id in selected:
                 cid = int(client_id)
-                self.delta_table.update(cid, self._client_delta(cid))
+                self.delta_table.update(cid, self._client_delta(round_idx, cid, phase=1))
             self.ledger.charge(
                 CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
             )

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import FederatedAlgorithm, RoundStats
+from repro.algorithms.base import FederatedAlgorithm
 from repro.exceptions import ConfigError
 from repro.fl.comm import CommLedger
+from repro.fl.parallel import ClientUpdate
 from repro.models.split import SplitModel
 from repro.nn.optim import ConstantLR
-from repro.nn.serialization import add_flat_to_grads
+from repro.nn.serialization import add_flat_to_grads, get_flat_params
 
 
 class Scaffold(FederatedAlgorithm):
@@ -64,55 +65,62 @@ class Scaffold(FederatedAlgorithm):
             schedule = ConstantLR(self.config.lr)
         return schedule.rate(round_idx * self.config.local_steps)
 
-    def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
-        self._require_setup()
+    def _charge_broadcast(self, selected: np.ndarray) -> None:
+        # Downlink: model + server control to every selected client.
+        super()._charge_broadcast(selected)
+        assert self.ledger is not None
+        self.ledger.charge(
+            CommLedger.DOWN, "control", self.model_size, copies=len(selected)
+        )
+
+    def _client_update(self, round_idx: int, client_id: int) -> ClientUpdate:
         assert (
-            self.ledger is not None
-            and self.fed is not None
-            and self.config is not None
+            self.config is not None
             and self.global_params is not None
             and self.server_control is not None
             and self.client_controls is not None
         )
-        tracer = self.tracer
-        with tracer.span("broadcast"):
-            # Downlink: model + server control to every selected client.
-            self.ledger.charge(CommLedger.DOWN, "model", self.model_size, copies=len(selected))
-            self.ledger.charge(CommLedger.DOWN, "control", self.model_size, copies=len(selected))
+        update = super()._client_update(round_idx, client_id)
+        # Option-II control refresh from the client's true local model
+        # (the workspace still holds it; the upload pipeline only
+        # transforms the reported copy).
+        y_k = get_flat_params(self.model)
+        new_control = (
+            self.client_controls[client_id]
+            - self.server_control
+            + (self.global_params - y_k)
+            / (self.config.local_steps * self._local_lr(round_idx))
+        )
+        update.payload = {
+            "new_control": new_control,
+            "delta_c": new_control - self.client_controls[client_id],
+        }
+        return update
 
-        x = self.global_params
-        eta_l = self._local_lr(round_idx)
-        steps = self.config.local_steps
-        delta_ys: list[np.ndarray] = []
-        delta_cs: list[np.ndarray] = []
-        task_losses: list[float] = []
-        for client_id in selected:
-            cid = int(client_id)
-            with tracer.span("local_train", client=cid):
-                y_k, result = self._train_one_client(
-                    round_idx, cid, grad_hook=self._grad_hook(round_idx, cid)
-                )
-            task_losses.append(result.mean_task_loss)
-            new_control = (
-                self.client_controls[cid]
-                - self.server_control
-                + (x - y_k) / (steps * eta_l)
-            )
-            delta_cs.append(new_control - self.client_controls[cid])
-            self.client_controls[cid] = new_control
-            delta_ys.append(y_k - x)
+    def _charge_uploads(self, selected: np.ndarray, updates: list[ClientUpdate]) -> None:
         # Uplink: model delta + control delta per client.
-        self.ledger.charge(CommLedger.UP, "model", self.model_size, copies=len(selected))
-        self.ledger.charge(CommLedger.UP, "control", self.model_size, copies=len(selected))
+        super()._charge_uploads(selected, updates)
+        assert self.ledger is not None
+        self.ledger.charge(
+            CommLedger.UP, "control", self.model_size, copies=len(updates)
+        )
 
-        with tracer.span("aggregate"):
-            mean_dy = np.mean(delta_ys, axis=0)
-            mean_dc = np.mean(delta_cs, axis=0)
-            self.global_params = x + self.eta_g * mean_dy
-            self.server_control = self.server_control + (
-                len(selected) / self.fed.num_clients
-            ) * mean_dc
+    def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        assert self.client_controls is not None
+        self.client_controls[update.client_id] = update.payload["new_control"]
 
-        weights = self.fed.client_sizes[selected].astype(np.float64)
-        weights /= weights.sum()
-        return RoundStats(train_loss=float(np.dot(weights, task_losses)))
+    def _aggregate_updates(
+        self, round_idx: int, selected: np.ndarray, updates: list[ClientUpdate]
+    ) -> np.ndarray:
+        assert (
+            self.fed is not None
+            and self.global_params is not None
+            and self.server_control is not None
+        )
+        x = self.global_params
+        mean_dy = np.mean([u.params - x for u in updates], axis=0)
+        mean_dc = np.mean([u.payload["delta_c"] for u in updates], axis=0)
+        self.server_control = self.server_control + (
+            len(selected) / self.fed.num_clients
+        ) * mean_dc
+        return x + self.eta_g * mean_dy

@@ -69,6 +69,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=1.0, help="model width multiplier")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--eval-every", type=int, default=5)
+    run.add_argument("--workers", type=int, default=1,
+                     help="client-execution worker processes (1 = serial; "
+                          "results are bit-identical for any value)")
+    run.add_argument("--executor", choices=("auto", "serial", "process", "chunked"),
+                     default="auto", help="client-execution engine")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -79,6 +84,8 @@ def _build_parser() -> argparse.ArgumentParser:
     preset.add_argument("name", choices=sorted(RUN_PRESETS),
                         help="preset name (see repro.list_presets())")
     preset.add_argument("--seed", type=int, default=0)
+    preset.add_argument("--workers", type=int, default=None,
+                        help="client-execution worker processes")
     preset.add_argument("--set", dest="overrides", action="append", default=[],
                         metavar="KEY=VALUE",
                         help="override a preset/config/algorithm knob, "
@@ -168,6 +175,8 @@ def _command_run(args) -> int:
         lr=args.lr,
         eval_every=args.eval_every,
         seed=args.seed,
+        num_workers=args.workers,
+        executor=args.executor,
     )
     algorithm = make_algorithm(args.algorithm, **_algorithm_kwargs(args))
     print(
@@ -221,6 +230,7 @@ def _command_preset(args) -> int:
         callbacks=[_print_round],
         trace=trace,
         artifacts_dir=artifacts_dir,
+        workers=args.workers,
     )
     print(f"final accuracy: {history.final_accuracy:.4f}")
     print(f"total traffic:  {history.total_bytes():,} bytes")

@@ -37,12 +37,22 @@ class GaussianDeltaMechanism:
         self.clip_norm = clip_norm
         self._rng = np.random.default_rng(seed)
 
-    def privatize(self, delta: np.ndarray, batch_size: int) -> np.ndarray:
+    def privatize(
+        self,
+        delta: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
         """Return the privatized copy of ``delta``.
 
         Args:
             delta: the client's mean embedding (d,).
             batch_size: L, the number of samples averaged into delta.
+            rng: optional noise stream.  The federated runtime passes a
+                per-``(round, client)`` stream so noise is independent
+                of client execution order (serial/parallel equivalence);
+                when omitted the mechanism's own sequential stream is
+                used.
         """
         if batch_size <= 0:
             raise ConfigError(f"batch_size must be positive, got {batch_size}")
@@ -50,7 +60,8 @@ class GaussianDeltaMechanism:
         if self.sigma == 0:
             return clipped.copy()
         noise_std = self.sigma * self.clip_norm / batch_size
-        return clipped + self._rng.normal(0.0, noise_std, size=clipped.shape)
+        source = rng if rng is not None else self._rng
+        return clipped + source.normal(0.0, noise_std, size=clipped.shape)
 
     def noise_std(self, batch_size: int) -> float:
         """Per-coordinate noise standard deviation for a given L."""

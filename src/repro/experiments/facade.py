@@ -174,6 +174,7 @@ def run_experiment(
     callbacks=None,
     trace: bool = False,
     artifacts_dir: str | Path | None = None,
+    workers: int | None = None,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -188,6 +189,9 @@ def run_experiment(
         artifacts_dir: where to write artifacts (implies persistence
             even without ``trace``; with ``trace`` overrides the default
             directory).
+        workers: client-execution worker processes (shorthand for the
+            ``num_workers`` config override; results are bit-identical
+            for any value).
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -199,6 +203,8 @@ def run_experiment(
     base_config = (
         cross_device_config if preset.scenario == "cross_device" else cross_silo_config
     )
+    if workers is not None:
+        config_overrides = {**config_overrides, "num_workers": workers}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)

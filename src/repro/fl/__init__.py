@@ -9,7 +9,9 @@ synchronization phases (rFedAvg+ uses one).
 Beyond the synchronous loop the package provides the surrounding
 systems a deployment needs: byte-exact communication accounting
 (:mod:`repro.fl.comm`) with a network-time model
-(:mod:`repro.fl.network`), upload compression
+(:mod:`repro.fl.network`), parallel client execution with
+serial-equivalence guarantees (:mod:`repro.fl.parallel`), upload
+compression
 (:mod:`repro.fl.compression`), failure injection
 (:mod:`repro.fl.faults`), secure aggregation (:mod:`repro.fl.secure`),
 adaptive client selection (:mod:`repro.fl.selection`), asynchronous
@@ -19,6 +21,13 @@ aggregation (:mod:`repro.fl.hierarchy`).
 
 from repro.fl.config import FLConfig
 from repro.fl.comm import CommLedger, vector_bytes
+from repro.fl.parallel import (
+    ClientExecutor,
+    ClientUpdate,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.fl.metrics import RoundRecord, History
 from repro.fl.sampling import sample_clients
 from repro.fl.client import evaluate_model, local_sgd_steps
@@ -48,6 +57,11 @@ __all__ = [
     "FLConfig",
     "CommLedger",
     "vector_bytes",
+    "ClientExecutor",
+    "ClientUpdate",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
     "RoundRecord",
     "History",
     "sample_clients",

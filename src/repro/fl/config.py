@@ -27,6 +27,13 @@ class FLConfig:
         seed: master seed; all round/client randomness derives from it.
         wire_dtype_bytes: bytes per scalar on the wire for the
             communication ledger (4 = float32, matching the paper).
+        num_workers: client-execution parallelism; workers > 1 trains
+            the round's clients in a process pool with results reduced
+            in selection order, bit-identical to ``num_workers=1``.
+        executor: client-execution engine — 'auto' (process pool when
+            num_workers > 1, else serial), 'serial', 'process' (one
+            task per client), or 'chunked' (one contiguous client chunk
+            per worker).
     """
 
     rounds: int = 30
@@ -40,8 +47,14 @@ class FLConfig:
     eval_batch: int = 256
     seed: int = 0
     wire_dtype_bytes: int = 4
+    num_workers: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
+        # Imported here: repro.fl.parallel depends on repro.exceptions only,
+        # but keeping config import-light avoids any future cycle.
+        from repro.fl.parallel import EXECUTOR_MODES
+
         if self.rounds <= 0:
             raise ConfigError("rounds must be positive")
         if self.local_steps <= 0:
@@ -52,6 +65,12 @@ class FLConfig:
             raise ConfigError("sample_ratio must be in (0, 1]")
         if self.eval_every <= 0:
             raise ConfigError("eval_every must be positive")
+        if self.num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        if self.executor not in EXECUTOR_MODES:
+            raise ConfigError(
+                f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
+            )
 
     def with_updates(self, **kwargs) -> "FLConfig":
         """Return a copy with the given fields replaced."""

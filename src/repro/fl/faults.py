@@ -61,15 +61,27 @@ class FaultModel:
         self.dropped_total += int((~keep).sum())
         return selected[keep]
 
+    def is_byzantine(self, client_id: int) -> bool:
+        """Whether ``client_id`` uploads corrupted parameters."""
+        return int(client_id) in self.byzantine_clients
+
+    def corrupt(
+        self, client_id: int, params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray:
+        """The byzantine upload of ``client_id`` — pure, no bookkeeping.
+
+        Byzantine clients report the anchor minus an amplified version
+        of their true update — the classic sign-flip attack.  Pure so it
+        can run inside a worker process; the execution engine counts
+        corruptions once per commit in the parent.
+        """
+        return anchor - self.corruption_scale * (params - anchor)
+
     def maybe_corrupt(
         self, client_id: int, params: np.ndarray, anchor: np.ndarray
     ) -> np.ndarray:
-        """Return the (possibly corrupted) upload of ``client_id``.
-
-        Byzantine clients report the anchor minus an amplified version
-        of their true update — the classic sign-flip attack.
-        """
-        if client_id not in self.byzantine_clients:
+        """Return the (possibly corrupted) upload of ``client_id``."""
+        if not self.is_byzantine(client_id):
             return params
         self.corrupted_total += 1
-        return anchor - self.corruption_scale * (params - anchor)
+        return self.corrupt(client_id, params, anchor)

@@ -1,0 +1,246 @@
+"""Pluggable client-execution engines with serial-equivalence guarantees.
+
+One federated round trains every selected client independently: the
+per-client work reads round-start state (global parameters, delta
+tables, control variates) and all randomness is derived from
+``(seed, round, client)`` streams, so client order and placement cannot
+change the numbers.  The engines here exploit that:
+
+* :class:`SerialExecutor` — the in-process reference loop.
+* :class:`ParallelExecutor` — a ``concurrent.futures`` process pool
+  (``fork`` start method) that ships picklable ``(position, client_id)``
+  task payloads to workers and the full algorithm state to each worker
+  process at fork time, once per round, so per-round state (delta
+  tables, previous local models, control variates) is always current.
+
+**Determinism contract.**  ``Algorithm._client_update`` must not mutate
+shared algorithm state (worker-side mutations are discarded with the
+forked process); every per-client side effect belongs in
+``_commit_client``, which the round runs in *selection order* regardless
+of completion order.  Workers return :class:`ClientUpdate` records and
+the parent reduces them in selection order, so a parallel round is
+bit-identical to ``num_workers=1``.
+
+**Fault tolerance.**  A worker crash (or any pool failure: fork
+unavailable, unpicklable results, poisoned tasks) degrades the executor
+to in-process serial execution with a :class:`RuntimeWarning` instead of
+killing the run; the determinism contract makes the retry safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import as_completed
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.obs.trace import NULL_TRACER
+
+EXECUTOR_MODES = ("auto", "serial", "process", "chunked")
+
+
+@dataclass
+class ClientUpdate:
+    """Everything one client's local round produces.
+
+    Attributes:
+        client_id: the trained client.
+        params: the parameters the server receives (after the fault /
+            compression upload pipeline).
+        wire: upload size in scalars (compressed size when compressing).
+        task_loss: mean task loss over the local steps.
+        reg_loss: mean (lambda-weighted) regularizer loss.
+        num_steps: local steps actually run (FedNova's tau_k).
+        train_seconds: worker-side wall time of the local work.
+        worker: pid of the process that ran the work (0 = in-process).
+        payload: algorithm-specific picklable extras (rFedAvg's delta,
+            SCAFFOLD's control refresh, MOON's previous-model update).
+    """
+
+    client_id: int
+    params: np.ndarray
+    wire: int
+    task_loss: float
+    reg_loss: float
+    num_steps: int
+    train_seconds: float = 0.0
+    worker: int = 0
+    payload: dict | None = None
+
+
+class ClientExecutor:
+    """Interface: run the selected clients' local work for one round."""
+
+    name = "base"
+    num_workers = 1
+
+    def run(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
+        """Return one :class:`ClientUpdate` per client, in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (pools are per-round, so a no-op here)."""
+
+
+class SerialExecutor(ClientExecutor):
+    """The reference engine: clients run one at a time, in-process."""
+
+    name = "serial"
+
+    def run(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
+        tracer = algorithm.tracer
+        updates: list[ClientUpdate] = []
+        for client_id in client_ids:
+            with tracer.span("local_train", client=int(client_id)):
+                updates.append(algorithm._client_update(round_idx, int(client_id)))
+        return updates
+
+
+# The worker-process side of ParallelExecutor.  The algorithm arrives
+# via the pool initializer (under fork, initargs are inherited memory,
+# never pickled), so closures, tracers and live numpy state all survive;
+# the per-task payloads that cross the call queue are plain picklable
+# tuples.
+_WORKER_ALGORITHM = None
+
+
+def _bind_worker_algorithm(algorithm) -> None:
+    global _WORKER_ALGORITHM
+    _WORKER_ALGORITHM = algorithm
+    # Child processes never report spans directly; timings travel back
+    # inside ClientUpdate and the parent re-emits them.
+    algorithm.tracer = NULL_TRACER
+
+
+def _run_task(round_idx: int, slots: list[tuple[int, int]]) -> list[tuple[int, ClientUpdate]]:
+    """Run a chunk of ``(position, client_id)`` slots in this worker."""
+    pid = os.getpid()
+    out = []
+    for position, client_id in slots:
+        update = _WORKER_ALGORITHM._client_update(round_idx, client_id)
+        update.worker = pid
+        out.append((position, update))
+    return out
+
+
+class ParallelExecutor(ClientExecutor):
+    """Process-pool engine: one forked pool per round.
+
+    Args:
+        num_workers: pool size (capped at the round's client count).
+        chunked: schedule contiguous client chunks (one task per worker,
+            fewer pickling round-trips) instead of one task per client
+            (better load balance under heterogeneous client cost).
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int, chunked: bool = False) -> None:
+        if num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.chunked = chunked
+        self._fallback: SerialExecutor | None = None
+
+    # -- degradation ---------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once the engine has fallen back to in-process execution."""
+        return self._fallback is not None
+
+    def _degrade(self, reason: str) -> SerialExecutor:
+        warnings.warn(
+            f"parallel client execution disabled ({reason}); "
+            "continuing with in-process serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._fallback = SerialExecutor()
+        return self._fallback
+
+    # -- scheduling ----------------------------------------------------------------
+    def _tasks(self, client_ids: list[int]) -> list[list[tuple[int, int]]]:
+        slots = list(enumerate(int(c) for c in client_ids))
+        if not self.chunked:
+            return [[slot] for slot in slots]
+        num_chunks = min(self.num_workers, len(slots))
+        bounds = np.array_split(np.arange(len(slots)), num_chunks)
+        return [[slots[i] for i in chunk] for chunk in bounds if len(chunk)]
+
+    def _run_pool(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
+        context = multiprocessing.get_context("fork")
+        workers = min(self.num_workers, len(client_ids))
+        results: list[ClientUpdate | None] = [None] * len(client_ids)
+        with _ProcessPool(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_bind_worker_algorithm,
+            initargs=(algorithm,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_task, round_idx, task) for task in self._tasks(client_ids)
+            ]
+            for future in as_completed(futures):
+                for position, update in future.result():
+                    results[position] = update
+        missing = [client_ids[i] for i, u in enumerate(results) if u is None]
+        if missing:
+            raise RuntimeError(f"workers returned no result for clients {missing}")
+        return results  # type: ignore[return-value]
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
+        if self._fallback is not None:
+            return self._fallback.run(algorithm, round_idx, client_ids)
+        if not len(client_ids):
+            return []
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return self._degrade("the 'fork' start method is unavailable").run(
+                algorithm, round_idx, client_ids
+            )
+        started = time.perf_counter()
+        try:
+            updates = self._run_pool(algorithm, round_idx, [int(c) for c in client_ids])
+        except Exception as exc:  # worker crash, pickling failure, pool breakage
+            return self._degrade(f"worker pool failed: {exc!r}").run(
+                algorithm, round_idx, client_ids
+            )
+        elapsed = time.perf_counter() - started
+        tracer = algorithm.tracer
+        if tracer.enabled:
+            # Re-emit each worker's local_train as a span with the
+            # worker-measured duration, in selection order.
+            for update in updates:
+                with tracer.span(
+                    "local_train", client=update.client_id, worker=update.worker
+                ) as span:
+                    pass
+                span.duration = update.train_seconds
+            metrics = tracer.metrics
+            metrics.gauge("parallel.workers").set(min(self.num_workers, len(client_ids)))
+            if elapsed > 0:
+                busy = sum(u.train_seconds for u in updates)
+                metrics.gauge("parallel.speedup").set(busy / elapsed)
+        return updates
+
+
+def make_executor(config) -> ClientExecutor:
+    """Build the engine an :class:`~repro.fl.config.FLConfig` asks for.
+
+    ``executor='auto'`` picks the process pool whenever
+    ``num_workers > 1`` and the serial loop otherwise; ``'serial'``,
+    ``'process'`` and ``'chunked'`` force a specific engine.
+    """
+    mode = getattr(config, "executor", "auto")
+    workers = int(getattr(config, "num_workers", 1))
+    if mode not in EXECUTOR_MODES:
+        raise ConfigError(f"executor must be one of {EXECUTOR_MODES}, got {mode!r}")
+    if mode == "serial" or (mode == "auto" and workers <= 1):
+        return SerialExecutor()
+    return ParallelExecutor(workers, chunked=(mode == "chunked"))

@@ -1,0 +1,96 @@
+"""Serial/parallel equivalence matrix for the client-execution engine.
+
+Every registered algorithm runs the same 3-round job twice — once with
+``num_workers=1`` (the serial reference) and once with a process pool —
+and the results must be bit-identical: final global parameters, every
+History field except wall time, and the per-round ledger totals.
+
+The worker count defaults to 4 and can be overridden with the
+``REPRO_EQUIV_WORKERS`` environment variable (CI runs the matrix at 2).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algorithms import ALGORITHMS
+from repro.fl.config import FLConfig
+from tests.conftest import make_toy_federation
+from tests.helpers import assert_equivalent_runs, run_with_workers
+
+WORKERS = int(os.environ.get("REPRO_EQUIV_WORKERS", "4"))
+
+# (name, constructor kwargs, slow?) — one row per registered algorithm.
+MATRIX = [
+    ("fedavg", {}, False),
+    ("fedavgm", {}, False),
+    ("fednova", {}, False),
+    ("fedprox", {"mu": 0.1}, False),
+    ("moon", {"mu": 0.5}, True),
+    ("scaffold", {}, False),
+    ("qfedavg", {"q": 1.0}, False),
+    ("rfedavg", {"lam": 1e-3}, True),
+    ("rfedavg+", {"lam": 1e-3}, False),
+    ("rfedavg_exact", {"lam": 1e-3}, True),
+]
+
+
+def _config(**overrides) -> FLConfig:
+    base = dict(rounds=3, local_steps=2, batch_size=8, lr=0.1, seed=11)
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return make_toy_federation(similarity=0.0)
+
+
+def test_matrix_covers_every_registered_algorithm():
+    """A new algorithm must be added to the equivalence matrix."""
+    assert {name for name, _, _ in MATRIX} == set(ALGORITHMS)
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        pytest.param(name, kwargs, id=name, marks=[pytest.mark.slow] if slow else [])
+        for name, kwargs, slow in MATRIX
+    ],
+)
+def test_parallel_run_is_bit_identical_to_serial(fed, name, kwargs):
+    config = _config()
+    serial = run_with_workers(name, kwargs, fed, config, num_workers=1)
+    parallel = run_with_workers(name, kwargs, fed, config, num_workers=WORKERS)
+    assert parallel[0].executor.name == "process"
+    assert not parallel[0].executor.degraded
+    assert_equivalent_runs(serial, parallel)
+
+
+@pytest.mark.parametrize("name,kwargs", [("fedavg", {}), ("scaffold", {})])
+def test_chunked_scheduling_is_bit_identical_to_serial(fed, name, kwargs):
+    config = _config(seed=12)
+    serial = run_with_workers(name, kwargs, fed, config, num_workers=1)
+    chunked = run_with_workers(
+        name, kwargs, fed, config, num_workers=WORKERS, executor="chunked"
+    )
+    assert chunked[0].executor.chunked
+    assert_equivalent_runs(serial, chunked)
+
+
+def test_partial_participation_is_bit_identical_to_serial(fed):
+    """Client sampling happens in the parent; the engine must preserve
+    the sampled order even when rounds select different subsets."""
+    config = _config(sample_ratio=0.5, rounds=4, seed=13)
+    serial = run_with_workers("fedavg", {}, fed, config, num_workers=1)
+    parallel = run_with_workers("fedavg", {}, fed, config, num_workers=WORKERS)
+    assert_equivalent_runs(serial, parallel)
+
+
+def test_more_workers_than_clients_is_bit_identical(fed):
+    config = _config(seed=14)
+    serial = run_with_workers("fedavg", {}, fed, config, num_workers=1)
+    oversized = run_with_workers("fedavg", {}, fed, config, num_workers=16)
+    assert_equivalent_runs(serial, oversized)

@@ -1,7 +1,9 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: gradient checking + the serial/parallel
+equivalence harness for the client-execution engine."""
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 import numpy as np
@@ -88,3 +90,70 @@ def split_model_objective_gradcheck(
     model.backward(grad_out, feature_grad=feature_grad)
     analytic = get_flat_grads(model)
     finite_difference_check(model, objective, analytic, rng, num_coords, atol=atol)
+
+
+# -- serial/parallel equivalence harness -----------------------------------------
+
+
+def tiny_model_fn(fed, seed: int = 0, hidden: int = 12, feature_dim: int = 6):
+    """The smallest useful model factory for equivalence runs."""
+    from repro.models import build_mlp
+
+    return lambda: build_mlp(
+        fed.spec.flat_dim,
+        fed.spec.num_classes,
+        np.random.default_rng(seed),
+        (hidden,),
+        feature_dim=feature_dim,
+    )
+
+
+def run_with_workers(
+    algorithm_name: str,
+    algorithm_kwargs: dict,
+    fed,
+    config,
+    num_workers: int,
+    executor: str = "auto",
+    decorate=None,
+):
+    """Run one federated job with the given worker count.
+
+    ``decorate`` (optional) receives the freshly built algorithm before
+    the run — use it to attach compressors / fault models.  Returns
+    ``(algorithm, history)``.
+    """
+    from repro.algorithms import make_algorithm
+    from repro.fl.trainer import run_federated
+
+    run_config = config.with_updates(num_workers=num_workers, executor=executor)
+    algorithm = make_algorithm(algorithm_name, **algorithm_kwargs)
+    if decorate is not None:
+        decorate(algorithm)
+    history = run_federated(algorithm, fed, tiny_model_fn(fed), run_config)
+    return algorithm, history
+
+
+def assert_equivalent_runs(serial, parallel) -> None:
+    """Assert two ``(algorithm, history)`` runs are bit-identical.
+
+    Compares final global parameters exactly, every History record field
+    except wall time, and the per-round ledger totals.
+    """
+    alg_a, hist_a = serial
+    alg_b, hist_b = parallel
+    np.testing.assert_array_equal(alg_a.global_params, alg_b.global_params)
+
+    assert len(hist_a.records) == len(hist_b.records)
+    for rec_a, rec_b in zip(hist_a.records, hist_b.records):
+        for field in dataclasses.fields(rec_a):
+            if field.name == "wall_time_sec":
+                continue  # timing legitimately differs between engines
+            assert getattr(rec_a, field.name) == getattr(rec_b, field.name), (
+                f"round {rec_a.round_idx}: {field.name} "
+                f"{getattr(rec_a, field.name)!r} != {getattr(rec_b, field.name)!r}"
+            )
+
+    assert alg_a.ledger.rounds == alg_b.ledger.rounds
+    for round_idx in range(alg_a.ledger.rounds):
+        assert alg_a.ledger.round_bytes(round_idx) == alg_b.ledger.round_bytes(round_idx)

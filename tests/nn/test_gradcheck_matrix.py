@@ -115,3 +115,37 @@ def test_gradients_accumulate_across_objectives(rng):
     loss_fn.forward(model(x), target)
     model.backward(loss_fn.backward())
     np.testing.assert_allclose(get_flat_grads(model), 2 * single)
+
+
+@pytest.mark.parametrize("case", range(12))
+def test_im2col_col2im_adjointness_on_random_shapes(case):
+    """col2im is the exact adjoint of im2col:
+    <im2col(x), y> == <x, col2im(y)> for every x and y.
+
+    This is the algebraic fact the convolution backward pass rests on;
+    shapes are drawn from a seeded stdlib generator so failures replay.
+    """
+    import random
+
+    from repro.nn.conv import col2im, im2col
+
+    gen = random.Random(6000 + case)
+    batch = gen.randint(1, 3)
+    channels = gen.randint(1, 3)
+    kernel = gen.randint(1, 4)
+    stride = gen.randint(1, 3)
+    padding = gen.randint(0, 2)
+    # Keep the spatial extent valid for the sampled kernel/padding.
+    min_side = max(1, kernel - 2 * padding)
+    height = gen.randint(min_side, min_side + 5)
+    width = gen.randint(min_side, min_side + 5)
+
+    data = np.random.default_rng(7000 + case)
+    x = data.normal(size=(batch, channels, height, width))
+    cols, out_h, out_w = im2col(x, kernel, stride, padding)
+    y = data.normal(size=cols.shape)
+
+    lhs = float((cols * y).sum())
+    back = col2im(y, x.shape, kernel, stride, padding, out_h, out_w)
+    rhs = float((x * back).sum())
+    assert abs(lhs - rhs) < 1e-9 * max(1.0, abs(lhs))
