@@ -94,13 +94,22 @@ def _scenario(name: str, make_algorithm, fed, model_fn, config) -> dict:
         f"{parallel_sec:7.2f}s   speedup {speedup:5.2f}x   "
         f"bit-identical={identical} degraded={parallel_executor.degraded}"
     )
-    return {
+    record = {
         "serial_seconds": round(serial_sec, 4),
         "parallel_seconds": round(parallel_sec, 4),
         "speedup": round(speedup, 3),
         "bit_identical": identical,
         "degraded": parallel_executor.degraded,
     }
+    if speedup < 1.0:
+        record["interpretation"] = (
+            f"regression on this host ({os.cpu_count()} core(s)): pool "
+            "fork/pickle overhead exceeds the parallel gain for CPU-bound "
+            "training; use executor='serial' here. Traced runs emit the "
+            "same hint as a parallel_hint span and a "
+            "parallel.slowdown_rounds counter (repro.obs)."
+        )
+    return record
 
 
 def main() -> int:

@@ -74,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "results are bit-identical for any value)")
     run.add_argument("--executor", choices=("auto", "serial", "process", "chunked"),
                      default="auto", help="client-execution engine")
+    run.add_argument("--dtype", choices=("float32", "float64"), default="float64",
+                     help="compute precision (float32 is ~2x faster; float64 "
+                          "is the bit-reproducible default)")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -177,6 +180,7 @@ def _command_run(args) -> int:
         seed=args.seed,
         num_workers=args.workers,
         executor=args.executor,
+        dtype=args.dtype,
     )
     algorithm = make_algorithm(args.algorithm, **_algorithm_kwargs(args))
     print(

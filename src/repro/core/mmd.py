@@ -37,10 +37,46 @@ def squared_linear_mmd(x_features: np.ndarray, y_features: np.ndarray) -> float:
     return float(gap @ gap)
 
 
-def _pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+# Above this many output elements (n * m), _pairwise_sq_dists switches to
+# row blocks so the distance matrix is built without a second full-size
+# temporary.  4M float64 elements = 32 MiB per temporary.
+_BLOCK_ELEMENTS = 1 << 22
+
+
+def _pairwise_sq_dists(
+    a: np.ndarray, b: np.ndarray, block_rows: int | None = None
+) -> np.ndarray:
+    """All squared distances ||a_i - b_j||^2 via the GEMM identity
+    ``||a||^2 + ||b||^2 - 2 a.b``.
+
+    Small problems (n * m <= ``_BLOCK_ELEMENTS``) use a single dense GEMM —
+    bitwise identical to the historical implementation.  Larger problems
+    fall back to row blocks of ``block_rows`` rows, which bounds peak
+    temporary memory; blocked BLAS calls may differ from the dense result
+    in the last ulp (GEMM blocking is shape-sensitive), which is harmless
+    for a distance matrix that feeds an exp() kernel.
+    """
     aa = (a * a).sum(axis=1)[:, None]
     bb = (b * b).sum(axis=1)[None, :]
-    return np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    n, m = a.shape[0], b.shape[0]
+    if block_rows is None:
+        if n * m <= _BLOCK_ELEMENTS:
+            block_rows = n
+        else:
+            block_rows = max(1, _BLOCK_ELEMENTS // max(m, 1))
+    if block_rows >= n:
+        return np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    out = np.empty((n, m), dtype=np.result_type(a, b))
+    bt = b.T
+    for i in range(0, n, block_rows):
+        j = min(i + block_rows, n)
+        blk = out[i:j]
+        np.add(aa[i:j], bb, out=blk)
+        prod = a[i:j] @ bt
+        prod *= 2.0
+        blk -= prod
+        np.maximum(blk, 0.0, out=blk)
+    return out
 
 
 def median_heuristic(x: np.ndarray, y: np.ndarray) -> float:

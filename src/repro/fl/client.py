@@ -90,6 +90,9 @@ def local_sgd_steps(
             grad_hook(model)
         optimizer.step()
 
+    # Drop forward caches: between rounds the workspace model only needs
+    # its parameters, not the last batch's activations.
+    model.free_buffers()
     return LocalResult(
         mean_task_loss=float(task_losses.mean()),
         mean_reg_loss=float(reg_losses.mean()),
@@ -110,6 +113,7 @@ def evaluate_model(
         total_loss += loss_fn.forward(logits, y) * len(y)
         correct += int((logits.argmax(axis=-1) == y).sum())
     model.train()
+    model.free_buffers()
     n = len(data)
     return total_loss / n, correct / n
 

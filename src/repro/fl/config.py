@@ -34,6 +34,11 @@ class FLConfig:
             num_workers > 1, else serial), 'serial', 'process' (one
             task per client), or 'chunked' (one contiguous client chunk
             per worker).
+        dtype: compute precision for the whole run: 'float64' (default,
+            bit-reproducible against the historical behaviour) or
+            'float32' (~2x faster kernels, half-size payloads; results
+            agree to float32 precision but are not bit-identical to
+            float64 runs).
     """
 
     rounds: int = 30
@@ -49,6 +54,7 @@ class FLConfig:
     wire_dtype_bytes: int = 4
     num_workers: int = 1
     executor: str = "auto"
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         # Imported here: repro.fl.parallel depends on repro.exceptions only,
@@ -70,6 +76,10 @@ class FLConfig:
         if self.executor not in EXECUTOR_MODES:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
+            )
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
 
     def with_updates(self, **kwargs) -> "FLConfig":

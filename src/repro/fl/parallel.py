@@ -212,22 +212,45 @@ class ParallelExecutor(ClientExecutor):
                 algorithm, round_idx, client_ids
             )
         elapsed = time.perf_counter() - started
-        tracer = algorithm.tracer
-        if tracer.enabled:
-            # Re-emit each worker's local_train as a span with the
-            # worker-measured duration, in selection order.
-            for update in updates:
-                with tracer.span(
-                    "local_train", client=update.client_id, worker=update.worker
-                ) as span:
-                    pass
-                span.duration = update.train_seconds
-            metrics = tracer.metrics
-            metrics.gauge("parallel.workers").set(min(self.num_workers, len(client_ids)))
-            if elapsed > 0:
-                busy = sum(u.train_seconds for u in updates)
-                metrics.gauge("parallel.speedup").set(busy / elapsed)
+        self._record_metrics(algorithm.tracer, updates, elapsed)
         return updates
+
+    def _record_metrics(self, tracer, updates: list[ClientUpdate], elapsed: float) -> None:
+        """Emit per-round parallelism telemetry through the tracer.
+
+        Besides the worker/speedup gauges, this flags rounds where the
+        pool made things *slower* (busy time below wall time — the
+        cpu-bound regime on a single core, where fork + pickling overhead
+        dominates; see ``docs/parallelism.md``).  The hint is an obs-layer
+        signal, not a warning, so determinism-focused test runs stay
+        quiet.
+        """
+        if not tracer.enabled:
+            return
+        # Re-emit each worker's local_train as a span with the
+        # worker-measured duration, in selection order.
+        for update in updates:
+            with tracer.span(
+                "local_train", client=update.client_id, worker=update.worker
+            ) as span:
+                pass
+            span.duration = update.train_seconds
+        metrics = tracer.metrics
+        metrics.gauge("parallel.workers").set(min(self.num_workers, len(updates)))
+        if elapsed > 0:
+            busy = sum(u.train_seconds for u in updates)
+            speedup = busy / elapsed
+            metrics.gauge("parallel.speedup").set(speedup)
+            if speedup < 1.0:
+                metrics.counter("parallel.slowdown_rounds").inc()
+                with tracer.span(
+                    "parallel_hint",
+                    speedup=round(speedup, 3),
+                    hint="pool overhead exceeds parallel gain; "
+                    "consider executor='serial' on this machine",
+                ):
+                    pass
+        return
 
 
 def make_executor(config) -> ClientExecutor:

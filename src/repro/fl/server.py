@@ -27,9 +27,13 @@ def weighted_average(vectors: list[np.ndarray], weights: np.ndarray) -> np.ndarr
         raise ProtocolError("aggregation weights sum to zero")
     norm = weights / total
     dim = vectors[0].shape
+    # Accumulate in float64 regardless of the client dtype (a float32
+    # running sum would lose low-order bits client by client), then cast
+    # back so a float32 run keeps float32 global parameters.  For
+    # float64 inputs the cast is a no-op and results are unchanged.
     out = np.zeros(dim, dtype=np.float64)
     for vec, w in zip(vectors, norm):
         if vec.shape != dim:
             raise ProtocolError(f"vector shape {vec.shape} != {dim}")
         out += w * vec
-    return out
+    return out.astype(np.result_type(*(v.dtype for v in vectors)), copy=False)

@@ -30,6 +30,7 @@ from repro.fl.config import FLConfig
 from repro.fl.metrics import History, RoundRecord
 from repro.fl.sampling import sample_clients
 from repro.models.split import SplitModel
+from repro.nn.dtype import default_dtype
 from repro.nn.serialization import set_flat_params
 from repro.obs.trace import NULL_TRACER
 
@@ -68,6 +69,38 @@ def run_federated(
             registry, and the tracer observes every round record.
         progress: deprecated single callback; use ``callbacks=[fn]``.
     """
+    from repro.fl.selection import SelectionContext
+
+    # The dtype policy wraps the entire job — model construction, local
+    # training, aggregation, and evaluation all see config.dtype.  The
+    # policy is process-global, so fork-started worker processes inherit
+    # it automatically.
+    with default_dtype(config.dtype):
+        return _run_federated(
+            algorithm,
+            fed,
+            model_fn,
+            config,
+            eval_per_client=eval_per_client,
+            callbacks=callbacks,
+            selector=selector,
+            tracer=tracer,
+            progress=progress,
+        )
+
+
+def _run_federated(
+    algorithm: "FederatedAlgorithm",
+    fed: FederatedDataset,
+    model_fn: Callable[[], SplitModel],
+    config: FLConfig,
+    *,
+    eval_per_client: bool = False,
+    callbacks: Sequence[RoundCallback] | None = None,
+    selector=None,
+    tracer=None,
+    progress: RoundCallback | None = None,
+) -> History:
     from repro.fl.selection import SelectionContext
 
     round_callbacks: list[RoundCallback] = list(callbacks) if callbacks else []

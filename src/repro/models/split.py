@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import astype_default
 from repro.nn.module import Module
 
 
@@ -33,6 +34,9 @@ class SplitModel(Module):
         self.feature_dim = feature_dim
         self._feat: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._feat = None
+
     @property
     def last_features(self) -> np.ndarray:
         """Feature activations of the most recent forward pass."""
@@ -41,6 +45,9 @@ class SplitModel(Module):
         return self._feat
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # Cast float inputs to the active dtype policy at the model
+        # boundary, so dataset pipelines can keep producing float64.
+        x = astype_default(x)
         feat = self.features.forward(x)
         self._feat = feat
         return self.head.forward(feat)

@@ -12,9 +12,17 @@ Design notes
 * ``backward`` *accumulates* into ``Parameter.grad`` (like PyTorch), so a
   single batch may receive gradient contributions from several objective
   terms (e.g. cross-entropy loss + the MMD distribution regularizer).
-* All arithmetic is float64 for numerically trustworthy gradient checks.
+* Arithmetic follows a process-global dtype policy (:mod:`repro.nn.dtype`).
+  The default is float64 — numerically trustworthy gradient checks — while
+  ``set_default_dtype("float32")`` (or the ``default_dtype`` context
+  manager) switches training to float32 end to end for speed.
 """
 
+from repro.nn.dtype import (
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.linear import Linear
 from repro.nn.conv import Conv2d
@@ -52,6 +60,9 @@ from repro.nn.serialization import (
 from repro.nn import functional
 
 __all__ = [
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "Module",
     "Parameter",
     "Sequential",

@@ -12,6 +12,9 @@ class ReLU(Module):
         super().__init__()
         self._mask: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._mask = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
@@ -28,6 +31,9 @@ class LeakyReLU(Module):
         self.alpha = alpha
         self._mask: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._mask = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, self.alpha * x)
@@ -35,13 +41,19 @@ class LeakyReLU(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * np.where(self._mask, 1.0, self.alpha)
+        # grad * 1 on the positive side, grad * alpha on the negative side,
+        # phrased to preserve grad_out's dtype (a bare np.where(mask, 1.0,
+        # alpha) materializes float64 and would upcast float32 gradients).
+        return np.where(self._mask, grad_out, grad_out * self.alpha)
 
 
 class Tanh(Module):
     def __init__(self) -> None:
         super().__init__()
         self._out: np.ndarray | None = None
+
+    def _free_buffers(self) -> None:
+        self._out = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._out = np.tanh(x)
@@ -58,6 +70,9 @@ class Sigmoid(Module):
         super().__init__()
         self._out: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._out = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._out = sigmoid(x)
         return self._out
@@ -68,11 +83,30 @@ class Sigmoid(Module):
         return grad_out * self._out * (1.0 - self._out)
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=np.float64)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic function.
+
+    Branchless form of the classic two-sided formulation: with
+    ``t = exp(-|x|)`` the positive side is ``1 / (1 + t)`` and the
+    negative side is ``t / (1 + t)`` — exactly the values the original
+    boolean-indexed implementation produced (``-|x|`` *is* ``x`` on the
+    negative side, and both sides share the ``1 + t`` denominator), so
+    results are bit-identical while avoiding the fancy-indexing
+    gather/scatter that dominated its runtime.
+
+    Follows the input dtype (float32 in, float32 out) and accepts an
+    ``out`` array so recurrent kernels can write gate activations into a
+    preallocated workspace.
+    """
+    if out is None:
+        dt = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        out = np.empty(x.shape, dtype=dt)
+    t = np.abs(x)
+    np.negative(t, out=t)
+    np.exp(t, out=t)  # t = exp(-|x|)
+    denom = 1.0 + t
+    np.divide(t, denom, out=t)  # negative-side value t / (1 + t)
+    np.divide(1.0, denom, out=denom)  # positive-side value 1 / (1 + t)
+    np.copyto(out, t)
+    np.copyto(out, denom, where=x >= 0)
     return out

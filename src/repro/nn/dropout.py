@@ -23,12 +23,19 @@ class Dropout(Module):
         self._rng = np.random.default_rng(seed)
         self._mask: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._mask = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # Build the mask in the input dtype (a bare bool/keep division
+        # would materialize float64 and upcast float32 activations).
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= keep
+        self._mask = mask
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -1,0 +1,80 @@
+"""Global floating-point dtype policy for the numpy substrate.
+
+Training at float32 roughly doubles GEMM throughput and halves memory
+bandwidth on one CPU core, but the gradient checks that make this
+reproduction trustworthy need float64.  The policy here lets both
+coexist: :func:`set_default_dtype` (or the :func:`default_dtype` context
+manager) selects the dtype that :class:`~repro.nn.module.Parameter`,
+the initializers, and every layer workspace use from then on, while the
+default stays float64 so existing code and the gradcheck suite are
+bit-for-bit unchanged.
+
+The policy is process-global (inherited by forked client-execution
+workers) and intentionally *not* per-model: a federated run picks one
+dtype for the whole job via ``FLConfig.dtype`` and
+:func:`~repro.fl.trainer.run_federated` scopes it around the run.
+
+Usage::
+
+    from repro import nn
+
+    nn.set_default_dtype("float32")        # permanent switch
+    with nn.default_dtype("float32"):      # scoped switch
+        model = build_cnn(...)             # float32 parameters
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float64)
+
+
+def _validate(dtype) -> np.dtype:
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_DTYPES:
+        names = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported default dtype {dt.name!r}; choose from {names}")
+    return dt
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new parameters and layer workspaces are created with."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the global default floating dtype; returns the previous one.
+
+    Accepts anything :class:`numpy.dtype` accepts ('float32',
+    ``np.float64``, ...); only float32 and float64 are supported.
+    """
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = _validate(dtype)
+    return previous
+
+
+@contextmanager
+def default_dtype(dtype) -> Iterator[np.dtype]:
+    """Scope the default dtype for the duration of a ``with`` block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)
+
+
+def astype_default(x: np.ndarray) -> np.ndarray:
+    """Cast floating arrays to the active default dtype (no-copy when
+    already there); integer arrays (token ids, labels) pass through."""
+    x = np.asarray(x)
+    dt = get_default_dtype()
+    if x.dtype != dt and np.issubdtype(x.dtype, np.floating):
+        return x.astype(dt)
+    return x

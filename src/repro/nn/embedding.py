@@ -36,11 +36,15 @@ class Embedding(Module):
                 raise ValueError(
                     f"pretrained shape {pretrained.shape} != ({vocab_size}, {dim})"
                 )
-            table = np.array(pretrained, dtype=np.float64)
+            # Parameter casts to the active dtype policy.
+            table = np.array(pretrained)
         else:
             table = rng.normal(0.0, 0.1, size=(vocab_size, dim))
         self.weight = Parameter(table, name="embedding.weight")
         self._ids: np.ndarray | None = None
+
+    def _free_buffers(self) -> None:
+        self._ids = None
 
     def forward(self, token_ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(token_ids, dtype=np.int64)
@@ -60,4 +64,4 @@ class Embedding(Module):
             )
         # Token ids are not differentiable; return a zero placeholder of
         # the input's shape so Sequential chaining stays uniform.
-        return np.zeros(self._ids.shape, dtype=np.float64)
+        return np.zeros(self._ids.shape, dtype=self.weight.data.dtype)

@@ -43,33 +43,43 @@ class GRUCell(Module):
         self.bias = Parameter(zeros((3 * hidden_dim,)), name="gru.bias")
         self._cache: dict | None = None
 
+    def _free_buffers(self) -> None:
+        self._cache = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, steps, _ = x.shape
         hid = self.hidden_dim
-        h = np.zeros((batch, hid))
-        hs = np.zeros((batch, steps, hid))
+        dtype = np.result_type(x.dtype, self.w_x.data.dtype)
+        # Input projection for the whole sequence in one GEMM; rows are
+        # independent, so xw_all[:, t] + bias matches the per-step
+        # x[:, t] @ w_x + bias of the reference bit for bit.
+        xw_all = (x.reshape(batch * steps, -1) @ self.w_x.data).reshape(
+            batch, steps, 3 * hid
+        )
+        xw_all += self.bias.data
+        h = np.zeros((batch, hid), dtype=dtype)
+        hs = np.empty((batch, steps, hid), dtype=dtype)
         cache = {
             "x": x,
-            "z": np.zeros((batch, steps, hid)),
-            "r": np.zeros((batch, steps, hid)),
-            "n": np.zeros((batch, steps, hid)),
-            "h_prev": np.zeros((batch, steps, hid)),
-            "hu_n": np.zeros((batch, steps, hid)),
+            "z": np.empty((batch, steps, hid), dtype=dtype),
+            "r": np.empty((batch, steps, hid), dtype=dtype),
+            "n": np.empty((batch, steps, hid), dtype=dtype),
+            "hu_n": np.empty((batch, steps, hid), dtype=dtype),
         }
         u_z = self.w_h.data[:, :hid]
         u_r = self.w_h.data[:, hid : 2 * hid]
         u_n = self.w_h.data[:, 2 * hid :]
         for t in range(steps):
-            cache["h_prev"][:, t] = h
-            xw = x[:, t] @ self.w_x.data + self.bias.data
-            z = sigmoid(xw[:, :hid] + h @ u_z)
-            r = sigmoid(xw[:, hid : 2 * hid] + h @ u_r)
-            hu_n = h @ u_n
-            n = np.tanh(xw[:, 2 * hid :] + r * hu_n)
-            h = (1.0 - z) * n + z * h
-            cache["z"][:, t], cache["r"][:, t] = z, r
-            cache["n"][:, t], cache["hu_n"][:, t] = n, hu_n
-            hs[:, t] = h
+            xw = xw_all[:, t]
+            z = sigmoid(xw[:, :hid] + h @ u_z, out=cache["z"][:, t])
+            r = sigmoid(xw[:, hid : 2 * hid] + h @ u_r, out=cache["r"][:, t])
+            hu_n = np.matmul(h, u_n, out=cache["hu_n"][:, t])
+            n = np.tanh(xw[:, 2 * hid :] + r * hu_n, out=cache["n"][:, t])
+            ht = hs[:, t]
+            np.multiply(1.0 - z, n, out=ht)
+            ht += z * h
+            h = ht
+        cache["hs"] = hs
         self._cache = cache
         return hs
 
@@ -78,35 +88,59 @@ class GRUCell(Module):
             raise RuntimeError("backward called before forward")
         cache = self._cache
         x = cache["x"]
+        # h_t is exactly hs[:, t], so h_prev at step t is hs[:, t-1] —
+        # no separate h_prev cache needed.
+        hs = cache["hs"]
         batch, steps, _ = x.shape
         hid = self.hidden_dim
+        dtype = cache["z"].dtype
         u_z = self.w_h.data[:, :hid]
         u_r = self.w_h.data[:, hid : 2 * hid]
         u_n = self.w_h.data[:, 2 * hid :]
-        grad_x = np.zeros_like(x)
-        dh_next = np.zeros((batch, hid))
+        # grad_x stays per-step to match the reference's BLAS call shapes
+        # exactly (see the LSTM backward note on transposed operands).
+        grad_x = np.empty(x.shape, dtype=dtype)
+        dxw = np.empty((batch, 3 * hid), dtype=dtype)  # contiguous scratch
+        dh_next = np.zeros((batch, hid), dtype=dtype)
+        zero_state = np.zeros((batch, hid), dtype=dtype)
+        # Preallocated GEMM destinations — same values as fresh
+        # temporaries, without the per-step mmap churn (see the LSTM
+        # backward note).
+        gw_x = np.empty(self.w_x.data.shape, dtype=dtype)
+        gbias = np.empty(3 * hid, dtype=dtype)
+        gw_hb = np.empty((hid, hid), dtype=dtype)
+        gx = np.empty((batch, x.shape[2]), dtype=dtype)
         for t in reversed(range(steps)):
             z, r = cache["z"][:, t], cache["r"][:, t]
             n, hu_n = cache["n"][:, t], cache["hu_n"][:, t]
-            h_prev = cache["h_prev"][:, t]
+            h_prev = hs[:, t - 1] if t > 0 else zero_state
             dh = grad_out[:, t] + dh_next
             dz = dh * (h_prev - n)
             dn = dh * (1.0 - z)
             dh_prev = dh * z
-            # Pre-activation gradients.
+            # Pre-activation gradients (fused layout [z, r, n]).
             dn_pre = dn * (1.0 - n**2)
             dr = dn_pre * hu_n
-            dz_pre = dz * z * (1.0 - z)
-            dr_pre = dr * r * (1.0 - r)
-            # Parameter gradients (fused layout [z, r, n]).
-            dxw = np.concatenate([dz_pre, dr_pre, dn_pre], axis=1)
-            self.w_x.grad += x[:, t].T @ dxw
-            self.bias.grad += dxw.sum(axis=0)
-            self.w_h.grad[:, :hid] += h_prev.T @ dz_pre
-            self.w_h.grad[:, hid : 2 * hid] += h_prev.T @ dr_pre
-            self.w_h.grad[:, 2 * hid :] += h_prev.T @ (dn_pre * r)
-            # Input and recurrent gradients.
-            grad_x[:, t] = dxw @ self.w_x.data.T
+            dxw[:, :hid] = dz * z * (1.0 - z)
+            dxw[:, hid : 2 * hid] = dr * r * (1.0 - r)
+            dxw[:, 2 * hid :] = dn_pre
+            dz_pre = dxw[:, :hid]
+            dr_pre = dxw[:, hid : 2 * hid]
+            # Parameter gradients.
+            np.matmul(x[:, t].T, dxw, out=gw_x)
+            self.w_x.grad += gw_x
+            np.sum(dxw, axis=0, out=gbias)
+            self.bias.grad += gbias
+            h_prev_t = h_prev.T
+            np.matmul(h_prev_t, dz_pre, out=gw_hb)
+            self.w_h.grad[:, :hid] += gw_hb
+            np.matmul(h_prev_t, dr_pre, out=gw_hb)
+            self.w_h.grad[:, hid : 2 * hid] += gw_hb
+            np.matmul(h_prev_t, dn_pre * r, out=gw_hb)
+            self.w_h.grad[:, 2 * hid :] += gw_hb
+            np.matmul(dxw, self.w_x.data.T, out=gx)
+            grad_x[:, t] = gx
+            # Recurrent gradient.
             dh_prev = (
                 dh_prev
                 + dz_pre @ u_z.T

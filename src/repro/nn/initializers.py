@@ -3,11 +3,19 @@
 Every initializer takes an explicit :class:`numpy.random.Generator` so
 model construction is bit-reproducible — a requirement for the federated
 experiments, where all clients must start from an identical global model.
+
+Sampling always happens in float64 (so a given seed yields the same
+underlying draw regardless of the dtype policy) and the result is cast
+to the active default dtype from :mod:`repro.nn.dtype`; under the
+default float64 policy the cast is a no-op and values are bit-identical
+to the pre-policy behaviour.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.dtype import get_default_dtype
 
 
 def glorot_uniform(
@@ -15,13 +23,15 @@ def glorot_uniform(
 ) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    out = rng.uniform(-limit, limit, size=shape)
+    return out.astype(get_default_dtype(), copy=False)
 
 
 def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
     """He normal: N(0, 2 / fan_in), the standard choice before ReLU."""
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape)
+    out = rng.normal(0.0, std, size=shape)
+    return out.astype(get_default_dtype(), copy=False)
 
 
 def orthogonal(rng: np.random.Generator, shape: tuple[int, int], gain: float = 1.0) -> np.ndarray:
@@ -32,8 +42,8 @@ def orthogonal(rng: np.random.Generator, shape: tuple[int, int], gain: float = 1
     q *= np.sign(np.diag(r))  # make the decomposition unique
     if rows < cols:
         q = q.T
-    return gain * q[:rows, :cols]
+    return (gain * q[:rows, :cols]).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())

@@ -29,6 +29,9 @@ class Linear(Module):
         self.bias = Parameter(zeros((out_features,)), name="linear.bias") if bias else None
         self._x: np.ndarray | None = None
 
+    def _free_buffers(self) -> None:
+        self._x = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
         out = x @ self.weight.data

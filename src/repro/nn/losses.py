@@ -55,7 +55,9 @@ class MeanSquaredError(Loss):
         self._diff: np.ndarray | None = None
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        self._diff = pred - np.asarray(target, dtype=np.float64)
+        # Cast the target to the prediction dtype so float32 training
+        # does not silently upcast the whole backward pass to float64.
+        self._diff = pred - np.asarray(target, dtype=pred.dtype)
         return float((self._diff**2).mean())
 
     def backward(self) -> np.ndarray:
@@ -75,7 +77,7 @@ class BinaryCrossEntropy(Loss):
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
         self._shape = pred.shape
         logits = pred.reshape(-1)
-        target = np.asarray(target, dtype=np.float64).reshape(-1)
+        target = np.asarray(target, dtype=pred.dtype).reshape(-1)
         probs = sigmoid(logits)
         self._probs = probs
         self._target = target

@@ -4,18 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
+
 
 class Parameter:
     """A trainable tensor with an accumulated gradient.
 
     ``data`` holds the current value; ``grad`` accumulates gradient
     contributions across :meth:`Module.backward` calls until
-    :meth:`zero_grad` resets it.  Both are float64 numpy arrays of the
-    same shape.
+    :meth:`zero_grad` resets it.  Both are numpy arrays of the same
+    shape in the dtype-policy dtype active at construction (float64 by
+    default — see :mod:`repro.nn.dtype`); the dtype then sticks with
+    the parameter for its lifetime.
     """
 
     def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad = np.zeros_like(self.data)
         self.name = name
 
@@ -71,6 +75,31 @@ class Module:
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
+
+    # -- cache management ------------------------------------------------------
+    def free_buffers(self) -> None:
+        """Drop cached forward activations, recursively.
+
+        Every layer caches whatever its ``backward`` needs during
+        ``forward`` (im2col columns, gate activations, pooling masks).
+        Between training steps those caches are dead weight — a full
+        round of clients would otherwise pin one batch of activations
+        per workspace model.  Calling this after the optimizer step
+        releases them; the next ``forward`` rebuilds everything, and a
+        ``backward`` without a fresh ``forward`` raises exactly as it
+        does on a newly constructed module.
+        """
+        self._free_buffers()
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value.free_buffers()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.free_buffers()
+
+    def _free_buffers(self) -> None:
+        """Hook: subclasses drop their own cached tensors here."""
 
     # -- train / eval mode -----------------------------------------------------
     def train(self) -> "Module":

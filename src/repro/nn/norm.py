@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.module import Module, Parameter
 
 
@@ -23,6 +24,9 @@ class LayerNorm(Module):
         self.gamma = Parameter(np.ones(dim), name="layernorm.gamma")
         self.beta = Parameter(np.zeros(dim), name="layernorm.beta")
         self._cache: tuple | None = None
+
+    def _free_buffers(self) -> None:
+        self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.shape[-1] != self.dim:
@@ -66,9 +70,14 @@ class BatchNorm1d(Module):
         self.eps = eps
         self.gamma = Parameter(np.ones(dim), name="batchnorm.gamma")
         self.beta = Parameter(np.zeros(dim), name="batchnorm.beta")
-        self.running_mean = np.zeros(dim)
-        self.running_var = np.ones(dim)
+        # Running stats follow the dtype policy like every other buffer so
+        # float32 training never mixes precisions at the normalize step.
+        self.running_mean = np.zeros(dim, dtype=get_default_dtype())
+        self.running_var = np.ones(dim, dtype=get_default_dtype())
         self._cache: tuple | None = None
+
+    def _free_buffers(self) -> None:
+        self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.dim:

@@ -21,6 +21,10 @@ class MaxPool2d(Module):
         self._mask: np.ndarray | None = None
         self._x_shape: tuple[int, ...] | None = None
 
+    def _free_buffers(self) -> None:
+        self._mask = None
+        self._x_shape = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, channels, height, width = x.shape
         p = self.pool_size
@@ -31,9 +35,11 @@ class MaxPool2d(Module):
         blocks = x.reshape(batch, channels, height // p, p, width // p, p)
         out = blocks.max(axis=(3, 5))
         # A mask of argmax positions; ties are broken by keeping all maxima,
-        # then renormalizing, which still yields a valid subgradient.
+        # then renormalizing, which still yields a valid subgradient.  The
+        # mask follows the input dtype so float32 stays float32 (the
+        # 1/count weights are exact in both precisions for pool windows).
         expanded = out[:, :, :, None, :, None]
-        mask = (blocks == expanded).astype(np.float64)
+        mask = (blocks == expanded).astype(x.dtype)
         mask /= mask.sum(axis=(3, 5), keepdims=True)
         self._mask = mask
         self._x_shape = x.shape
@@ -53,6 +59,9 @@ class AvgPool2d(Module):
         super().__init__()
         self.pool_size = pool_size
         self._x_shape: tuple[int, ...] | None = None
+
+    def _free_buffers(self) -> None:
+        self._x_shape = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, channels, height, width = x.shape

@@ -5,6 +5,17 @@ connected layer.  This module implements an :class:`LSTMCell` (one step),
 an :class:`LSTM` (a stack of layers unrolled over a full sequence), and
 :class:`LastTimestep` (extracts the final hidden state for
 classification heads).
+
+Kernel design (see ``docs/performance.md``): the input projection for
+the whole sequence is hoisted out of the time loop into one
+``(B*T, in) @ (in, 4H)`` GEMM, gate activations are computed with a
+fused sigmoid/tanh block into a preallocated ``(B, T, 4H)`` workspace,
+and the per-step recurrent GEMM reuses one scratch buffer.  BLAS GEMM
+results are row-independent, so every value matches the per-timestep
+reference (:class:`repro.nn.reference.ReferenceLSTMCell`) bit for bit
+in float64 — the equivalence tests enforce exactly that.  All state and
+workspaces follow the input/parameter dtype instead of silently
+upcasting to float64, so float32 training stays float32 end to end.
 """
 
 from __future__ import annotations
@@ -47,42 +58,61 @@ class LSTMCell(Module):
         self.bias = Parameter(bias, name="lstm.bias")
         self._cache: dict | None = None
 
+    def _free_buffers(self) -> None:
+        self._cache = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         batch, steps, _ = x.shape
         hid = self.hidden_dim
-        h = np.zeros((batch, hid))
-        c = np.zeros((batch, hid))
-        hs = np.zeros((batch, steps, hid))
-        gates_i = np.zeros((batch, steps, hid))
-        gates_f = np.zeros((batch, steps, hid))
-        gates_g = np.zeros((batch, steps, hid))
-        gates_o = np.zeros((batch, steps, hid))
-        cells = np.zeros((batch, steps, hid))
-        h_prevs = np.zeros((batch, steps, hid))
-        c_prevs = np.zeros((batch, steps, hid))
+        w_h = self.w_h.data
+        dtype = np.result_type(x.dtype, self.w_x.data.dtype)
+        # Input projection for the full sequence: one big GEMM instead of
+        # T small ones.  GEMM rows are independent, so xw[:, t] is
+        # bit-identical to x[:, t] @ w_x.
+        xw = (x.reshape(batch * steps, -1) @ self.w_x.data).reshape(
+            batch, steps, 4 * hid
+        )
+        h = np.zeros((batch, hid), dtype=dtype)
+        c = np.zeros((batch, hid), dtype=dtype)
+        hs = np.empty((batch, steps, hid), dtype=dtype)
+        cells = np.empty((batch, steps, hid), dtype=dtype)
+        gates = np.empty((batch, steps, 4 * hid), dtype=dtype)
+        # tanh(c_t) is needed again by backward; caching it here saves one
+        # transcendental per step in the backward loop.
+        tanh_cells = np.empty((batch, steps, hid), dtype=dtype)
+        # Per-step scratch, reused across the whole sequence.
+        z = np.empty((batch, 4 * hid), dtype=dtype)
+        prod = np.empty((batch, hid), dtype=dtype)
         for t in range(steps):
-            h_prevs[:, t] = h
-            c_prevs[:, t] = c
-            z = x[:, t] @ self.w_x.data + h @ self.w_h.data + self.bias.data
-            gi = sigmoid(z[:, :hid])
-            gf = sigmoid(z[:, hid : 2 * hid])
-            gg = np.tanh(z[:, 2 * hid : 3 * hid])
-            go = sigmoid(z[:, 3 * hid :])
-            c = gf * c + gi * gg
-            h = go * np.tanh(c)
-            gates_i[:, t], gates_f[:, t] = gi, gf
-            gates_g[:, t], gates_o[:, t] = gg, go
-            cells[:, t] = c
-            hs[:, t] = h
+            np.matmul(h, w_h, out=z)
+            z += xw[:, t]
+            z += self.bias.data
+            # Fused gate block: one sigmoid over [i|f], one tanh over g,
+            # one sigmoid over o, written straight into the cache.
+            g = gates[:, t]
+            sigmoid(z[:, : 2 * hid], out=g[:, : 2 * hid])
+            np.tanh(z[:, 2 * hid : 3 * hid], out=g[:, 2 * hid : 3 * hid])
+            sigmoid(z[:, 3 * hid :], out=g[:, 3 * hid :])
+            gi, gf = g[:, :hid], g[:, hid : 2 * hid]
+            gg, go = g[:, 2 * hid : 3 * hid], g[:, 3 * hid :]
+            # c = gf * c_prev + gi * gg, accumulated in the cache slot.
+            ct = cells[:, t]
+            np.multiply(gf, c, out=ct)
+            np.multiply(gi, gg, out=prod)
+            ct += prod
+            c = ct
+            # h = go * tanh(c)
+            tc = tanh_cells[:, t]
+            np.tanh(ct, out=tc)
+            ht = hs[:, t]
+            np.multiply(go, tc, out=ht)
+            h = ht
         self._cache = {
             "x": x,
-            "i": gates_i,
-            "f": gates_f,
-            "g": gates_g,
-            "o": gates_o,
-            "c": cells,
-            "h_prev": h_prevs,
-            "c_prev": c_prevs,
+            "gates": gates,
+            "cells": cells,
+            "hs": hs,
+            "tanh_cells": tanh_cells,
         }
         return hs
 
@@ -91,38 +121,86 @@ class LSTMCell(Module):
             raise RuntimeError("backward called before forward")
         cache = self._cache
         x = cache["x"]
+        gates, cells, hs = cache["gates"], cache["cells"], cache["hs"]
+        tanh_cells = cache["tanh_cells"]
         batch, steps, _ = x.shape
         hid = self.hidden_dim
-        grad_x = np.zeros_like(x)
-        dh_next = np.zeros((batch, hid))
-        dc_next = np.zeros((batch, hid))
+        dtype = gates.dtype
+        w_h = self.w_h.data
+        # grad_x stays per-step: a hoisted (B*T, 4H) @ w_x.T GEMM gives
+        # different BLAS blocking than the per-step reference and breaks
+        # bitwise float64 identity (transposed operands are shape-sensitive).
+        grad_x = np.empty(x.shape, dtype=dtype)
+        # Preallocated per-step workspaces.  Every elementwise chain below
+        # replays the reference expressions operation-for-operation (same
+        # operands, same association), so writing through scratch buffers
+        # instead of fresh temporaries changes nothing bitwise.
+        dz = np.empty((batch, 4 * hid), dtype=dtype)
+        dh = np.empty((batch, hid), dtype=dtype)
+        dc = np.empty((batch, hid), dtype=dtype)
+        s = np.empty((batch, hid), dtype=dtype)
+        dh_next = np.zeros((batch, hid), dtype=dtype)
+        dc_next = np.zeros((batch, hid), dtype=dtype)
+        zero_state = np.zeros((batch, hid), dtype=dtype)
+        w_h_t = w_h.T
+        w_x_t = self.w_x.data.T
+        # GEMM destinations.  The per-step parameter-gradient products are
+        # large enough (hundreds of KB) that fresh temporaries go through
+        # mmap on every step; writing them into preallocated buffers via
+        # out= produces the same values without the allocator churn.
+        gw_x = np.empty(self.w_x.data.shape, dtype=dtype)
+        gw_h = np.empty(w_h.shape, dtype=dtype)
+        gbias = np.empty(4 * hid, dtype=dtype)
+        gx = np.empty((batch, x.shape[2]), dtype=dtype)
         for t in reversed(range(steps)):
-            gi, gf = cache["i"][:, t], cache["f"][:, t]
-            gg, go = cache["g"][:, t], cache["o"][:, t]
-            c, c_prev = cache["c"][:, t], cache["c_prev"][:, t]
-            h_prev = cache["h_prev"][:, t]
-            dh = grad_out[:, t] + dh_next
-            tanh_c = np.tanh(c)
-            dc = dh * go * (1.0 - tanh_c**2) + dc_next
-            d_go = dh * tanh_c
-            d_gi = dc * gg
-            d_gg = dc * gi
-            d_gf = dc * c_prev
-            dz = np.concatenate(
-                [
-                    d_gi * gi * (1.0 - gi),
-                    d_gf * gf * (1.0 - gf),
-                    d_gg * (1.0 - gg**2),
-                    d_go * go * (1.0 - go),
-                ],
-                axis=1,
-            )
-            self.w_x.grad += x[:, t].T @ dz
-            self.w_h.grad += h_prev.T @ dz
-            self.bias.grad += dz.sum(axis=0)
-            grad_x[:, t] = dz @ self.w_x.data.T
-            dh_next = dz @ self.w_h.data.T
-            dc_next = dc * gf
+            g = gates[:, t]
+            gi, gf = g[:, :hid], g[:, hid : 2 * hid]
+            gg, go = g[:, 2 * hid : 3 * hid], g[:, 3 * hid :]
+            c_prev = cells[:, t - 1] if t > 0 else zero_state
+            h_prev = hs[:, t - 1] if t > 0 else zero_state
+            tanh_c = tanh_cells[:, t]
+            # dh = grad_out_t + dh_next
+            np.add(grad_out[:, t], dh_next, out=dh)
+            # dc = dh * go * (1 - tanh_c**2) + dc_next
+            np.multiply(dh, go, out=dc)
+            np.multiply(tanh_c, tanh_c, out=s)
+            np.subtract(1.0, s, out=s)
+            dc *= s
+            dc += dc_next
+            # dz_i = dc * gg * gi * (1 - gi)
+            dzi = dz[:, :hid]
+            np.multiply(dc, gg, out=dzi)
+            dzi *= gi
+            np.subtract(1.0, gi, out=s)
+            dzi *= s
+            # dz_f = dc * c_prev * gf * (1 - gf)
+            dzf = dz[:, hid : 2 * hid]
+            np.multiply(dc, c_prev, out=dzf)
+            dzf *= gf
+            np.subtract(1.0, gf, out=s)
+            dzf *= s
+            # dz_g = dc * gi * (1 - gg**2)
+            dzg = dz[:, 2 * hid : 3 * hid]
+            np.multiply(dc, gi, out=dzg)
+            np.multiply(gg, gg, out=s)
+            np.subtract(1.0, s, out=s)
+            dzg *= s
+            # dz_o = dh * tanh_c * go * (1 - go)
+            dzo = dz[:, 3 * hid :]
+            np.multiply(dh, tanh_c, out=dzo)
+            dzo *= go
+            np.subtract(1.0, go, out=s)
+            dzo *= s
+            np.matmul(x[:, t].T, dz, out=gw_x)
+            self.w_x.grad += gw_x
+            np.matmul(h_prev.T, dz, out=gw_h)
+            self.w_h.grad += gw_h
+            np.sum(dz, axis=0, out=gbias)
+            self.bias.grad += gbias
+            np.matmul(dz, w_x_t, out=gx)
+            grad_x[:, t] = gx
+            np.matmul(dz, w_h_t, out=dh_next)
+            np.multiply(dc, gf, out=dc_next)
         return grad_x
 
 
@@ -162,6 +240,9 @@ class LastTimestep(Module):
         super().__init__()
         self._shape: tuple[int, ...] | None = None
 
+    def _free_buffers(self) -> None:
+        self._shape = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
         return x[:, -1, :]
@@ -169,6 +250,6 @@ class LastTimestep(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:
             raise RuntimeError("backward called before forward")
-        grad = np.zeros(self._shape, dtype=np.float64)
+        grad = np.zeros(self._shape, dtype=grad_out.dtype)
         grad[:, -1, :] = grad_out
         return grad

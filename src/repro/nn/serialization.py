@@ -1,15 +1,19 @@
 """Flat-vector (de)serialization of model parameters.
 
-Federated payloads cross the client-server boundary as single float64
+Federated payloads cross the client-server boundary as single flat
 vectors; these helpers define the canonical layout (parameter discovery
 order, row-major flattening) used by every algorithm and by the
-communication accountant.
+communication accountant.  Vectors carry the parameters' own dtype —
+under the default float64 policy this is exactly the historical
+behaviour, while a float32 policy halves the payload.  Writing a vector
+back into a model casts to each parameter's dtype.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.module import Module
 
 
@@ -19,16 +23,16 @@ def num_params(model: Module) -> int:
 
 
 def get_flat_params(model: Module) -> np.ndarray:
-    """Concatenate all parameters into one float64 vector (a copy)."""
+    """Concatenate all parameters into one flat vector (a copy)."""
     parts = [p.data.reshape(-1) for p in model.parameters()]
     if not parts:
-        return np.zeros(0, dtype=np.float64)
+        return np.zeros(0, dtype=get_default_dtype())
     return np.concatenate(parts)
 
 
 def set_flat_params(model: Module, flat: np.ndarray) -> None:
-    """Write ``flat`` back into the model, preserving shapes."""
-    flat = np.asarray(flat, dtype=np.float64)
+    """Write ``flat`` back into the model, preserving shapes and dtypes."""
+    flat = np.asarray(flat)
     expected = num_params(model)
     if flat.size != expected:
         raise ValueError(f"flat vector has {flat.size} entries, model needs {expected}")
@@ -42,7 +46,7 @@ def get_flat_grads(model: Module) -> np.ndarray:
     """Concatenate all accumulated gradients into one vector (a copy)."""
     parts = [p.grad.reshape(-1) for p in model.parameters()]
     if not parts:
-        return np.zeros(0, dtype=np.float64)
+        return np.zeros(0, dtype=get_default_dtype())
     return np.concatenate(parts)
 
 
@@ -52,7 +56,7 @@ def add_flat_to_grads(model: Module, flat: np.ndarray) -> None:
     Used by SCAFFOLD to inject control-variate corrections and by
     FedProx to add the proximal-term gradient before the optimizer step.
     """
-    flat = np.asarray(flat, dtype=np.float64)
+    flat = np.asarray(flat)
     expected = num_params(model)
     if flat.size != expected:
         raise ValueError(f"flat vector has {flat.size} entries, model needs {expected}")

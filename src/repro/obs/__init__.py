@@ -41,7 +41,7 @@ from repro.obs.exporters import (
     write_jsonl,
     write_run_artifacts,
 )
-from repro.obs.profiler import LayerProfiler
+from repro.obs.profiler import LayerProfiler, time_op
 
 __all__ = [
     "Counter",
@@ -61,4 +61,5 @@ __all__ = [
     "format_round_table",
     "format_span_summary",
     "LayerProfiler",
+    "time_op",
 ]

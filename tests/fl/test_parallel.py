@@ -153,3 +153,53 @@ def test_traced_serial_run_has_no_worker_attribute():
     run_federated(FedAvg(), fed, tiny_model_fn(fed), _config(rounds=1), tracer=tracer)
     locals_ = tracer.find("local_train")
     assert locals_ and all("worker" not in span.attrs for span in locals_)
+
+
+# -- slowdown hint ----------------------------------------------------------------
+
+
+def _fake_updates(train_seconds: float, n: int = 3) -> list:
+    from repro.fl.parallel import ClientUpdate
+
+    return [
+        ClientUpdate(
+            client_id=i, params=np.zeros(2), wire=2, task_loss=0.0,
+            reg_loss=0.0, num_steps=1, train_seconds=train_seconds, worker=100 + i,
+        )
+        for i in range(n)
+    ]
+
+
+def test_slowdown_round_emits_hint_and_counter():
+    """When worker busy time is below round wall time (the CPU-bound
+    single-core regime), the executor should say so via obs."""
+    executor = ParallelExecutor(2)
+    tracer = Tracer()
+    # 3 clients x 0.1s busy inside a 1.0s round: speedup 0.3.
+    executor._record_metrics(tracer, _fake_updates(0.1), elapsed=1.0)
+
+    assert tracer.metrics.gauge("parallel.speedup").value == pytest.approx(0.3)
+    assert tracer.metrics.counter("parallel.slowdown_rounds").value == 1
+    hints = tracer.find("parallel_hint")
+    assert len(hints) == 1
+    assert "serial" in hints[0].attrs["hint"]
+    assert hints[0].attrs["speedup"] == pytest.approx(0.3, abs=1e-3)
+
+
+def test_genuine_speedup_emits_no_hint():
+    executor = ParallelExecutor(2)
+    tracer = Tracer()
+    # 3 clients x 1s busy inside a 1.5s round: speedup 2.0.
+    executor._record_metrics(tracer, _fake_updates(1.0), elapsed=1.5)
+
+    assert tracer.metrics.gauge("parallel.speedup").value == pytest.approx(2.0)
+    assert tracer.metrics.counter("parallel.slowdown_rounds").value == 0
+    assert tracer.find("parallel_hint") == []
+
+
+def test_untraced_run_records_nothing():
+    from repro.obs.trace import NULL_TRACER
+
+    executor = ParallelExecutor(2)
+    # Must not raise, and must stay allocation-free on the null path.
+    executor._record_metrics(NULL_TRACER, _fake_updates(0.1), elapsed=1.0)

@@ -52,10 +52,16 @@ def model_gradcheck(
     loss_closure: Callable[[], tuple[float, np.ndarray]],
     rng: np.random.Generator,
     num_coords: int = 10,
+    eps: float = 1e-6,
     atol: float = 1e-5,
 ) -> None:
     """Gradcheck a model whose closure returns (loss, grad_out) and runs
-    forward itself; backward is invoked here."""
+    forward itself; backward is invoked here.
+
+    ``eps`` is the finite-difference step — float32 models need a much
+    larger one (~1e-3) than the float64 default, since a 1e-6 bump
+    vanishes in single-precision rounding.
+    """
 
     def objective() -> float:
         loss, _grad = loss_closure()
@@ -65,7 +71,9 @@ def model_gradcheck(
     model.zero_grad()
     model.backward(grad_out)
     analytic = get_flat_grads(model)
-    finite_difference_check(model, objective, analytic, rng, num_coords, atol=atol)
+    finite_difference_check(
+        model, objective, analytic, rng, num_coords, eps=eps, atol=atol
+    )
 
 
 def split_model_objective_gradcheck(

@@ -85,6 +85,30 @@ def test_cross_entropy_gradcheck(rng, factory, input_fn, label):
     model_gradcheck(model, closure, rng, num_coords=10, atol=1e-4)
 
 
+@pytest.mark.parametrize("factory,input_fn,label", LAYER_CASES)
+def test_cross_entropy_gradcheck_float32(rng, factory, input_fn, label):
+    """The same layer matrix under the float32 dtype policy.
+
+    Finite differences in single precision need a bigger step (a 1e-6
+    bump vanishes in rounding) and looser tolerances — this checks the
+    float32 kernels compute the *right* gradients, not that they match
+    float64 precision.
+    """
+    with nn.default_dtype("float32"):
+        model = factory(rng)
+    x = input_fn(rng)
+    if np.issubdtype(np.asarray(x).dtype, np.floating):
+        x = x.astype(np.float32)
+    y = rng.integers(0, 4, x.shape[0])
+    loss_fn = SoftmaxCrossEntropy()
+
+    def closure():
+        loss = loss_fn.forward(model(x), y)
+        return loss, loss_fn.backward()
+
+    model_gradcheck(model, closure, rng, num_coords=10, eps=1e-3, atol=5e-2)
+
+
 @pytest.mark.parametrize("factory,input_fn,label", LAYER_CASES[:4])
 def test_mse_gradcheck(rng, factory, input_fn, label):
     model = factory(rng)
