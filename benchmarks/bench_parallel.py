@@ -77,11 +77,18 @@ def _timed_run(make_algorithm, executor, fed, model_fn, config):
     return algorithm, time.perf_counter() - started
 
 
-def _scenario(name: str, make_algorithm, fed, model_fn, config) -> dict:
-    serial_alg, serial_sec = _timed_run(
-        make_algorithm, SerialExecutor(), fed, model_fn, config
-    )
-    parallel_executor = ParallelExecutor(WORKERS)
+def _scenario(
+    name: str, make_algorithm, fed, model_fn, config, transport: str = "wire",
+    serial_baseline=None,
+) -> dict:
+    # Transports compared against each other share one serial baseline
+    # so their ratios are not skewed by run-to-run host noise.
+    if serial_baseline is None:
+        serial_baseline = _timed_run(
+            make_algorithm, SerialExecutor(), fed, model_fn, config
+        )
+    serial_alg, serial_sec = serial_baseline
+    parallel_executor = ParallelExecutor(WORKERS, transport=transport)
     parallel_alg, parallel_sec = _timed_run(
         make_algorithm, parallel_executor, fed, model_fn, config
     )
@@ -90,11 +97,12 @@ def _scenario(name: str, make_algorithm, fed, model_fn, config) -> dict:
     )
     speedup = serial_sec / parallel_sec
     print(
-        f"{name:16s} serial {serial_sec:7.2f}s   parallel({WORKERS}) "
+        f"{name:24s} serial {serial_sec:7.2f}s   parallel({WORKERS},{transport}) "
         f"{parallel_sec:7.2f}s   speedup {speedup:5.2f}x   "
         f"bit-identical={identical} degraded={parallel_executor.degraded}"
     )
     record = {
+        "transport": transport,
         "serial_seconds": round(serial_sec, 4),
         "parallel_seconds": round(parallel_sec, 4),
         "speedup": round(speedup, 3),
@@ -104,9 +112,11 @@ def _scenario(name: str, make_algorithm, fed, model_fn, config) -> dict:
     if speedup < 1.0:
         record["interpretation"] = (
             f"regression on this host ({os.cpu_count()} core(s)): pool "
-            "fork/pickle overhead exceeds the parallel gain for CPU-bound "
-            "training; use executor='serial' here. Traced runs emit the "
-            "same hint as a parallel_hint span and a "
+            "overhead exceeds the parallel gain for CPU-bound training; "
+            "use executor='serial' here. The wire transport narrows the "
+            "gap vs the per-round-fork pickle engine (see cpu_bound_pickle) "
+            "but cannot beat serial without real cores. Traced runs emit "
+            "the same hint as a parallel_hint span and a "
             "parallel.slowdown_rounds counter (repro.obs)."
         )
     return record
@@ -121,6 +131,7 @@ def main() -> int:
         f"{ROUNDS} rounds, E={config.local_steps}, host cores={cpu_count}"
     )
 
+    cpu_serial = _timed_run(FedAvg, SerialExecutor(), fed, model_fn, config)
     results = {
         "clients": CLIENTS,
         "workers": WORKERS,
@@ -131,7 +142,14 @@ def main() -> int:
         "cpu_count": cpu_count,
         "device_latency_sec": DEVICE_LATENCY_SEC,
         "scenarios": {
-            "cpu_bound": _scenario("cpu-bound", FedAvg, fed, model_fn, config),
+            "cpu_bound": _scenario(
+                "cpu-bound (wire)", FedAvg, fed, model_fn, config,
+                serial_baseline=cpu_serial,
+            ),
+            "cpu_bound_pickle": _scenario(
+                "cpu-bound (pickle)", FedAvg, fed, model_fn, config,
+                transport="pickle", serial_baseline=cpu_serial,
+            ),
             "device_latency": _scenario(
                 "device-latency",
                 lambda: LatencyFedAvg(DEVICE_LATENCY_SEC),

@@ -40,6 +40,7 @@ from repro.data.dataset import FederatedDataset
 from repro.exceptions import ProtocolError
 from repro.fl.client import LocalResult, local_sgd_steps
 from repro.fl.comm import CommLedger
+from repro.fl.compression import WireSize
 from repro.fl.config import FLConfig
 from repro.fl.parallel import ClientExecutor, ClientUpdate, SerialExecutor, make_executor
 from repro.fl.server import weighted_average
@@ -68,6 +69,13 @@ class FederatedAlgorithm:
     """
 
     name = "base"
+
+    # The packed wire transport keeps worker processes alive across
+    # rounds and refreshes their shared state from
+    # :meth:`_worker_state` each round.  An algorithm whose worker-side
+    # work reads shared state that cannot be enumerated there must set
+    # this False to force the fork-per-round pickle engine.
+    wire_transport_safe = True
 
     def __init__(self) -> None:
         self.model: SplitModel | None = None
@@ -113,7 +121,7 @@ class FederatedAlgorithm:
         # Traced runs share the tracer's registry so byte counters land
         # next to the spans; untraced runs get a private registry.
         metrics = self.tracer.metrics if self.tracer.enabled else None
-        self.ledger = CommLedger(config.wire_dtype_bytes, metrics=metrics)
+        self.ledger = CommLedger(config.wire_bytes_per_scalar(), metrics=metrics)
         self.model_size = num_params(model)
         self.executor = (
             self._executor_override
@@ -124,6 +132,29 @@ class FederatedAlgorithm:
     def _require_setup(self) -> None:
         if self.model is None or self.fed is None or self.config is None:
             raise ProtocolError(f"{self.name}: setup() must be called before run_round()")
+
+    # -- wire-transport worker state ---------------------------------------------
+    def _worker_state(self) -> dict:
+        """Everything a worker-side :meth:`_client_update` reads from
+        shared algorithm state, as wire-packable named segments.
+
+        The packed wire transport broadcasts this once per round into
+        shared memory; long-lived workers re-adopt it via
+        :meth:`_install_worker_state` before running tasks.  Subclasses
+        with extra shared state (control variates, delta tables,
+        previous local models) must extend both methods symmetrically —
+        or set ``wire_transport_safe = False``.
+        """
+        assert self.global_params is not None
+        return {"global_params": self.global_params}
+
+    def _install_worker_state(self, state: dict) -> None:
+        """Adopt a round-state broadcast (worker-side only).
+
+        The arrays are zero-copy read-only views into the shared
+        buffer; they stay valid for the round they are installed for.
+        """
+        self.global_params = state["global_params"]
 
     # -- per-client helpers --------------------------------------------------------
     def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
@@ -194,17 +225,21 @@ class FederatedAlgorithm:
             reg_hook=self._reg_hook(round_idx, client_id),
             grad_hook=self._grad_hook(round_idx, client_id),
         )
-        params, wire = self._apply_upload_pipeline(round_idx, client_id, params)
+        params, streams, wire_size = self._apply_upload_pipeline(
+            round_idx, client_id, params
+        )
         payload = self._client_payload(round_idx, client_id, params)
         return ClientUpdate(
             client_id=client_id,
             params=params,
-            wire=wire,
+            wire=wire_size.scalars,
             task_loss=result.mean_task_loss,
             reg_loss=result.mean_reg_loss,
             num_steps=result.num_steps,
             train_seconds=time.perf_counter() - started,
             payload=payload,
+            params_streams=streams,
+            wire_size=wire_size,
         )
 
     def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
@@ -249,29 +284,65 @@ class FederatedAlgorithm:
 
         Sums the per-client wire sizes and records once, so ledger state
         is independent of worker completion order by construction.
+        When every update carries an exact :class:`WireSize`, actual
+        wire bytes are charged (int32 index streams, bit-packed words);
+        otherwise the legacy scalar accounting applies.
         """
         assert self.ledger is not None
+        if updates and all(u.wire_size is not None for u in updates):
+            total_bytes = sum(
+                u.wire_size.nbytes(self.ledger.dtype_bytes) for u in updates
+            )
+            if total_bytes:
+                self.ledger.charge_bytes(CommLedger.UP, "model", total_bytes)
+            return
         total_scalars = sum(int(u.wire) for u in updates)
         if total_scalars:
             self.ledger.charge(CommLedger.UP, "model", total_scalars)
 
     def _apply_upload_pipeline(
         self, round_idx: int, client_id: int, params: np.ndarray
-    ) -> tuple[np.ndarray, int]:
+    ) -> tuple[np.ndarray | None, dict | None, "WireSize"]:
         """Run a client's upload through faults + compression.
 
-        Returns the parameters the server actually receives and the
-        wire size in scalars.  Pure with respect to shared state — the
-        byzantine counter is advanced at commit time by the round.
+        Returns ``(params, streams, wire_size)``: either the dense
+        parameters the server receives (``streams=None``), or the
+        compressed wire streams (``params=None``) the round
+        materializes via :meth:`_materialize_params`.  Pure with
+        respect to shared state — the byzantine counter is advanced at
+        commit time by the round.
         """
         assert self.global_params is not None and self.config is not None
         if self.fault_model is not None and self.fault_model.is_byzantine(client_id):
             params = self.fault_model.corrupt(client_id, params, self.global_params)
         if self.compressor is None:
-            return params, self.model_size
+            return params, None, WireSize(values=self.model_size)
         rng = np.random.default_rng([self.config.seed, round_idx, client_id, 0xC0])
-        recon, wire = self.compressor.compress(params - self.global_params, rng)
-        return self.global_params + recon, wire
+        diff = params - self.global_params
+        # Stream-capable compressors (TopK, subsampling) consume the rng
+        # in encode() exactly as compress() would, so either path sees
+        # identical draws and decode(encode(v)) == compress(v) bit for
+        # bit.
+        encoded = self.compressor.encode(diff, rng)
+        if encoded is not None:
+            streams, wire_size = encoded
+            return None, streams, wire_size
+        recon, wire_size = self.compressor.compress(diff, rng)
+        return self.global_params + recon, None, wire_size
+
+    def _materialize_params(self, update: ClientUpdate) -> None:
+        """Reconstruct dense server-side parameters from wire streams.
+
+        Runs in the parent for every transport (serial, packed, pickled,
+        degraded) so the reduction path is one code path; the scatter
+        order matches what :meth:`Compressor.compress` would have
+        produced, keeping results bit-identical to the dense pipeline.
+        """
+        if update.params is not None:
+            return
+        assert self.compressor is not None and self.global_params is not None
+        recon = self.compressor.decode(update.params_streams, self.model_size)
+        update.params = self.global_params + recon
 
     # -- the round ---------------------------------------------------------------------
     def _execute_clients(
@@ -283,6 +354,8 @@ class FederatedAlgorithm:
         """
         client_ids = [int(c) for c in selected]
         updates = self.executor.run(self, round_idx, client_ids)
+        for update in updates:
+            self._materialize_params(update)
         if self.tracer.enabled:
             assert self.global_params is not None
             histogram = self.tracer.metrics.histogram("client.update_norm")

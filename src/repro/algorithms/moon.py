@@ -102,6 +102,15 @@ class Moon(FederatedAlgorithm):
 
         self._frozen = copy.deepcopy(model)
 
+    def _worker_state(self) -> dict:
+        state = super()._worker_state()
+        state["prev_params"] = self._prev_params
+        return state
+
+    def _install_worker_state(self, state: dict) -> None:
+        super()._install_worker_state(state)
+        self._prev_params = state["prev_params"]
+
     def _anchor_features(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
         assert self._frozen is not None
         set_flat_params(self._frozen, params)

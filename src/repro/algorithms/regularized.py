@@ -5,11 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import FederatedAlgorithm
-from repro.core.delta import DeltaTable
+from repro.core.delta import DeltaCache, DeltaTable
 from repro.core.privacy import GaussianDeltaMechanism
 from repro.core.regularizer import DistributionRegularizer
 from repro.exceptions import ConfigError
 from repro.fl.client import compute_mean_embedding
+from repro.nn.serialization import params_fingerprint
 
 
 class RegularizedAlgorithm(FederatedAlgorithm):
@@ -22,6 +23,10 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         mode: 'pairwise' or 'loo' — which r_k form the clients optimize.
         privacy: optional Gaussian mechanism applied to every delta a
             client uploads (Fig. 12).
+        delta_cache: memoize raw mean embeddings keyed on (phi
+            parameters, client data) content fingerprints, skipping the
+            embedding forward pass when neither changed.  Bit-identical
+            to recomputation; disable to benchmark the recompute path.
     """
 
     name = "regularized-base"
@@ -31,6 +36,7 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         lam: float,
         mode: str,
         privacy: GaussianDeltaMechanism | None = None,
+        delta_cache: bool = True,
     ) -> None:
         super().__init__()
         if lam < 0:
@@ -39,12 +45,49 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         self.regularizer = DistributionRegularizer(lam, mode=mode)
         self.privacy = privacy
         self.delta_table: DeltaTable | None = None
+        self.delta_cache = DeltaCache() if delta_cache else None
 
     def setup(self, model, fed, config) -> None:
         super().setup(model, fed, config)
         self.delta_table = DeltaTable(
-            fed.num_clients, model.feature_dim, dtype_bytes=config.wire_dtype_bytes
+            fed.num_clients, model.feature_dim,
+            dtype_bytes=config.wire_bytes_per_scalar(),
         )
+
+    def _worker_state(self) -> dict:
+        state = super()._worker_state()
+        assert self.delta_table is not None
+        table, reported = self.delta_table.state_arrays()
+        state["delta_table"] = table
+        state["delta_reported"] = reported
+        return state
+
+    def _install_worker_state(self, state: dict) -> None:
+        super()._install_worker_state(state)
+        assert self.delta_table is not None
+        self.delta_table.install_views(state["delta_table"], state["delta_reported"])
+
+    def _raw_delta(self, client_id: int) -> np.ndarray:
+        """Client k's mean embedding under the current workspace model,
+        through the delta cache when enabled."""
+        assert self.model is not None and self.fed is not None and self.config is not None
+        shard = self.fed.clients[client_id]
+        if self.delta_cache is None:
+            return compute_mean_embedding(self.model, shard, self.config.eval_batch)
+        # Fingerprints are recomputed every call (cheap next to the
+        # forward pass) so stale hits are impossible even under in-place
+        # parameter or data mutation.
+        phi_fp = params_fingerprint(self.model.features)
+        data_fp = shard.content_fingerprint()
+        delta = self.delta_cache.lookup(client_id, phi_fp, data_fp)
+        hit = delta is not None
+        if not hit:
+            delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
+            self.delta_cache.store(client_id, phi_fp, data_fp, delta)
+        if self.tracer.enabled:
+            name = "delta_cache.hits" if hit else "delta_cache.misses"
+            self.tracer.metrics.counter(name).inc()
+        return delta
 
     def _client_delta(self, round_idx: int, client_id: int, phase: int = 0) -> np.ndarray:
         """Compute (and optionally privatize) client k's mean embedding
@@ -53,13 +96,15 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         Privacy noise draws from a dedicated ``(round, client, phase)``
         stream so the numbers do not depend on the order clients execute
         in (serial/parallel equivalence); ``phase`` separates multiple
-        delta computations for the same client within one round.
+        delta computations for the same client within one round.  Only
+        the raw embedding is cached — noise is applied per call, so the
+        cache cannot perturb the privacy stream.
         """
         assert self.model is not None and self.fed is not None and self.config is not None
         with self.tracer.span("delta_compute", client=client_id):
-            shard = self.fed.clients[client_id]
-            delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
+            delta = self._raw_delta(client_id)
             if self.privacy is not None:
+                shard = self.fed.clients[client_id]
                 rng = np.random.default_rng(
                     [self.config.seed, round_idx, client_id, 0xD9, phase]
                 )
@@ -81,4 +126,4 @@ class RegularizedAlgorithm(FederatedAlgorithm):
     def delta_payload_bytes(self) -> int:
         """Wire size of one delta vector."""
         assert self.model is not None and self.config is not None
-        return self.model.feature_dim * self.config.wire_dtype_bytes
+        return self.model.feature_dim * self.config.wire_bytes_per_scalar()

@@ -31,9 +31,17 @@ class RFedAvg(RegularizedAlgorithm):
     name = "rfedavg"
 
     def __init__(
-        self, lam: float = 1e-4, privacy: GaussianDeltaMechanism | None = None
+        self,
+        lam: float = 1e-4,
+        privacy: GaussianDeltaMechanism | None = None,
+        delta_cache: bool = True,
     ) -> None:
-        super().__init__(lam, mode=DistributionRegularizer.PAIRWISE, privacy=privacy)
+        super().__init__(
+            lam,
+            mode=DistributionRegularizer.PAIRWISE,
+            privacy=privacy,
+            delta_cache=delta_cache,
+        )
 
     def _reg_hook(self, round_idx: int, client_id: int):
         assert self.delta_table is not None

@@ -32,9 +32,12 @@ class RFedAvgExact(RFedAvgPlus):
     name = "rfedavg_exact"
 
     def __init__(
-        self, lam: float = 1e-4, privacy: GaussianDeltaMechanism | None = None
+        self,
+        lam: float = 1e-4,
+        privacy: GaussianDeltaMechanism | None = None,
+        delta_cache: bool = True,
     ) -> None:
-        super().__init__(lam, privacy=privacy)
+        super().__init__(lam, privacy=privacy, delta_cache=delta_cache)
 
     def run_round(self, round_idx: int, selected: np.ndarray):
         self._require_setup()

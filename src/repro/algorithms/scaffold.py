@@ -48,6 +48,17 @@ class Scaffold(FederatedAlgorithm):
         self.server_control = np.zeros(self.model_size)
         self.client_controls = np.zeros((fed.num_clients, self.model_size))
 
+    def _worker_state(self) -> dict:
+        state = super()._worker_state()
+        state["server_control"] = self.server_control
+        state["client_controls"] = self.client_controls
+        return state
+
+    def _install_worker_state(self, state: dict) -> None:
+        super()._install_worker_state(state)
+        self.server_control = state["server_control"]
+        self.client_controls = state["client_controls"]
+
     def _grad_hook(self, round_idx: int, client_id: int):
         assert self.server_control is not None and self.client_controls is not None
         correction = self.server_control - self.client_controls[client_id]

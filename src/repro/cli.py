@@ -74,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "results are bit-identical for any value)")
     run.add_argument("--executor", choices=("auto", "serial", "process", "chunked"),
                      default="auto", help="client-execution engine")
+    run.add_argument("--transport", choices=("wire", "pickle"), default="wire",
+                     help="parallel payload transport: packed flat buffers over "
+                          "shared memory (wire) or the fork-per-round pickle "
+                          "engine; results are bit-identical either way")
     run.add_argument("--dtype", choices=("float32", "float64"), default="float64",
                      help="compute precision (float32 is ~2x faster; float64 "
                           "is the bit-reproducible default)")
@@ -180,6 +184,7 @@ def _command_run(args) -> int:
         seed=args.seed,
         num_workers=args.workers,
         executor=args.executor,
+        transport=args.transport,
         dtype=args.dtype,
     )
     algorithm = make_algorithm(args.algorithm, **_algorithm_kwargs(args))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ProtocolError
+from repro.nn.dtype import get_default_dtype
 
 
 class DeltaTable:
@@ -20,19 +21,41 @@ class DeltaTable:
     Attributes:
         dim: embedding dimension d.
         num_clients: number of clients N.
-        dtype_bytes: bytes per scalar on the wire (the paper reports
-            float32 payloads; our simulator trains in float64 but the
-            wire format is configurable).
+        dtype_bytes: bytes per scalar on the wire.  ``None`` follows the
+            active dtype policy at construction; the paper reports
+            float32 payloads, which an explicit ``4`` reproduces from a
+            float64 training run.
     """
 
-    def __init__(self, num_clients: int, dim: int, dtype_bytes: int = 4) -> None:
+    def __init__(self, num_clients: int, dim: int, dtype_bytes: int | None = None) -> None:
         if num_clients <= 0 or dim <= 0:
             raise ProtocolError("num_clients and dim must be positive")
         self.num_clients = num_clients
         self.dim = dim
-        self.dtype_bytes = dtype_bytes
+        self.dtype_bytes = (
+            int(dtype_bytes) if dtype_bytes is not None else get_default_dtype().itemsize
+        )
         self._table = np.zeros((num_clients, dim), dtype=np.float64)
         self._reported = np.zeros(num_clients, dtype=bool)
+
+    # -- worker-state views (wire transport) -------------------------------------
+    def state_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(table, reported)`` arrays, without copying — used
+        to pack the table into a round-state broadcast."""
+        return self._table, self._reported
+
+    def install_views(self, table: np.ndarray, reported: np.ndarray) -> None:
+        """Adopt shared (read-only) backing arrays in a worker process.
+
+        Worker-side code only reads the table (updates are committed by
+        the parent), so read-only views are sufficient; the read
+        accessors below copy before returning as they always did.
+        """
+        if table.shape != (self.num_clients, self.dim):
+            raise ProtocolError(f"table shape {table.shape} != "
+                                f"({self.num_clients}, {self.dim})")
+        self._table = table
+        self._reported = reported
 
     # -- updates ---------------------------------------------------------------
     def update(self, client: int, delta: np.ndarray) -> None:
@@ -121,3 +144,45 @@ class DeltaTable:
         if plus:
             return self.dim * self.dtype_bytes
         return self.num_clients * self.dim * self.dtype_bytes
+
+
+class DeltaCache:
+    """Per-client memoization of raw mean embeddings.
+
+    A client's delta depends on exactly two things: the feature
+    extractor's parameters phi and the client's local data.  Both are
+    fingerprinted (:func:`repro.nn.serialization.params_fingerprint`,
+    :meth:`repro.data.dataset.ArrayDataset.content_fingerprint`) and a
+    recomputation is skipped when neither changed since the client's
+    last participation — e.g. the round-start refresh in the exact
+    variant reuses the deltas the previous round's post-aggregation
+    sync computed from the same global model.
+
+    Only the *raw* (pre-privacy) delta is cached: privacy noise draws
+    from a per-``(round, client, phase)`` stream and must be applied
+    per call, so cached and uncached runs stay bit-identical.
+
+    One entry per client — federated rounds alternate between at most
+    two phi versions (pre/post aggregation), and a client re-keys its
+    entry whenever phi or its data moves on.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[bytes, bytes, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, client: int, phi_fp: bytes, data_fp: bytes) -> np.ndarray | None:
+        """The cached delta for ``client``, or None on any mismatch."""
+        entry = self._entries.get(client)
+        if entry is not None and entry[0] == phi_fp and entry[1] == data_fp:
+            self.hits += 1
+            return entry[2].copy()
+        self.misses += 1
+        return None
+
+    def store(self, client: int, phi_fp: bytes, data_fp: bytes, delta: np.ndarray) -> None:
+        self._entries[client] = (phi_fp, data_fp, np.array(delta, copy=True))
+
+    def clear(self) -> None:
+        self._entries.clear()

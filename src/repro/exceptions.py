@@ -15,3 +15,7 @@ class DataError(ReproError):
 
 class ProtocolError(ReproError):
     """A federated protocol invariant was violated (e.g. payload shape)."""
+
+
+class WireError(ReproError):
+    """A payload cannot be encoded to / decoded from the packed wire format."""

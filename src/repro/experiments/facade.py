@@ -175,6 +175,7 @@ def run_experiment(
     trace: bool = False,
     artifacts_dir: str | Path | None = None,
     workers: int | None = None,
+    transport: str | None = None,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -192,6 +193,9 @@ def run_experiment(
         workers: client-execution worker processes (shorthand for the
             ``num_workers`` config override; results are bit-identical
             for any value).
+        transport: parallel payload transport — 'wire' (packed
+            shared-memory, the default) or 'pickle'; shorthand for the
+            ``transport`` config override.
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -205,6 +209,8 @@ def run_experiment(
     )
     if workers is not None:
         config_overrides = {**config_overrides, "num_workers": workers}
+    if transport is not None:
+        config_overrides = {**config_overrides, "transport": transport}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)

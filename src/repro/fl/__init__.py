@@ -9,7 +9,8 @@ synchronization phases (rFedAvg+ uses one).
 Beyond the synchronous loop the package provides the surrounding
 systems a deployment needs: byte-exact communication accounting
 (:mod:`repro.fl.comm`) with a network-time model
-(:mod:`repro.fl.network`), parallel client execution with
+(:mod:`repro.fl.network`), a packed flat-buffer wire format
+(:mod:`repro.fl.wire`), parallel client execution with
 serial-equivalence guarantees (:mod:`repro.fl.parallel`), upload
 compression
 (:mod:`repro.fl.compression`), failure injection
@@ -22,11 +23,20 @@ aggregation (:mod:`repro.fl.hierarchy`).
 from repro.fl.config import FLConfig
 from repro.fl.comm import CommLedger, vector_bytes
 from repro.fl.parallel import (
+    TRANSPORTS,
     ClientExecutor,
     ClientUpdate,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+)
+from repro.fl.wire import (
+    pack,
+    pack_client_update,
+    pack_state,
+    unpack,
+    unpack_client_update,
+    unpack_state,
 )
 from repro.fl.metrics import RoundRecord, History
 from repro.fl.sampling import sample_clients
@@ -39,6 +49,7 @@ from repro.fl.compression import (
     TopKSparsifier,
     RandomSubsampler,
     UniformQuantizer,
+    WireSize,
     make_compressor,
 )
 from repro.fl.faults import FaultModel
@@ -61,7 +72,14 @@ __all__ = [
     "ClientUpdate",
     "ParallelExecutor",
     "SerialExecutor",
+    "TRANSPORTS",
     "make_executor",
+    "pack",
+    "unpack",
+    "pack_state",
+    "unpack_state",
+    "pack_client_update",
+    "unpack_client_update",
     "RoundRecord",
     "History",
     "sample_clients",
@@ -74,6 +92,7 @@ __all__ = [
     "TopKSparsifier",
     "RandomSubsampler",
     "UniformQuantizer",
+    "WireSize",
     "make_compressor",
     "FaultModel",
     "LinkModel",

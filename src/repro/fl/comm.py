@@ -16,22 +16,41 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.obs.metrics import Counter, MetricsRegistry
 
 
-def vector_bytes(size: int, dtype_bytes: int = 4) -> int:
-    """Wire size of a ``size``-element vector."""
+def vector_bytes(size: int, dtype_bytes: int | None = None) -> int:
+    """Wire size of a ``size``-element vector.
+
+    ``dtype_bytes=None`` follows the active dtype policy
+    (:func:`repro.nn.dtype.get_default_dtype`).
+    """
+    if dtype_bytes is None:
+        dtype_bytes = get_default_dtype().itemsize
     return int(size) * int(dtype_bytes)
 
 
 class CommLedger:
-    """Accumulates per-round and total communication volumes."""
+    """Accumulates per-round and total communication volumes.
+
+    ``dtype_bytes`` is the per-scalar wire width used by
+    :meth:`charge`.  The default (``None``) resolves to the active
+    dtype policy's itemsize **at construction time** — a float32 run
+    charges 4 bytes per scalar, a float64 run 8 — while an explicit
+    value stays an override (e.g. simulating float32 wire traffic from
+    a float64 training run, as the paper's Table III does).
+    """
 
     DOWN = "down"
     UP = "up"
 
-    def __init__(self, dtype_bytes: int = 4, metrics: MetricsRegistry | None = None) -> None:
-        self.dtype_bytes = dtype_bytes
+    def __init__(
+        self, dtype_bytes: int | None = None, metrics: MetricsRegistry | None = None
+    ) -> None:
+        self.dtype_bytes = (
+            int(dtype_bytes) if dtype_bytes is not None else get_default_dtype().itemsize
+        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._round_totals: list[dict[str, int]] = []
         self._counters: dict[str, Counter] = {}
@@ -61,6 +80,15 @@ class CommLedger:
         if direction not in (self.DOWN, self.UP):
             raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
         payload = vector_bytes(num_scalars, self.dtype_bytes) * copies
+        self._counter(f"{direction}:{kind}").inc(payload)
+        self._counter(direction).inc(payload)
+
+    def charge_bytes(self, direction: str, kind: str, nbytes: int, copies: int = 1) -> None:
+        """Charge an exact byte count (the packed wire path, where index
+        streams and bit-packed words are not scalar multiples)."""
+        if direction not in (self.DOWN, self.UP):
+            raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
+        payload = int(nbytes) * copies
         self._counter(f"{direction}:{kind}").inc(payload)
         self._counter(direction).inc(payload)
 

@@ -11,17 +11,84 @@ combine the distribution regularizer with compressed model uploads:
 * :class:`NoCompression` — identity (the default everywhere else).
 
 Every compressor maps a flat float vector to a (reconstructed_vector,
-wire_scalars) pair: the reconstruction is what the server aggregates
-(lossy), and ``wire_scalars`` is the equivalent float count charged to
-the communication ledger (indices are charged at one scalar per
-transmitted coordinate, a standard simplification).
+:class:`WireSize`) pair: the reconstruction is what the server
+aggregates (lossy), and the wire size describes what actually crosses
+the wire so the ledger can charge real bytes under the active dtype
+policy.  Sparse compressors additionally implement
+:meth:`Compressor.encode` / :meth:`Compressor.decode`, which split the
+payload into an ``int32`` index stream plus a value stream — the packed
+wire transport ships those instead of a dense reconstruction, and
+``decode(encode(v))`` is bit-identical to ``compress(v)`` under the
+same rng.
+
+**Byte accounting.**  Historically indices were charged as "1 scalar
+per index" (a common simplification).  The wire path charges them as 4
+``int32`` bytes each instead; construct a compressor with
+``legacy_scalars=True`` to restore the old accounting (and dense
+shipping) when reproducing pre-wire experiment numbers — see
+``docs/performance.md`` for the delta.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import ConfigError
+
+INDEX_BYTES = 4  # compressed coordinate indices travel as int32
+
+
+@dataclass(frozen=True)
+class WireSize:
+    """What one upload actually puts on the wire.
+
+    Attributes:
+        values: count of dtype-width scalars (model coefficients, delta
+            entries, quantization range endpoints).
+        index_ints: count of ``int32`` coordinate indices.
+        raw_bytes: dtype-independent raw bytes (bit-packed quantization
+            words).
+        legacy_scalars: the equivalent count under the old "everything
+            is one scalar" accounting, kept for back-compatibility
+            (:attr:`ClientUpdate.wire <repro.fl.parallel.ClientUpdate>`).
+        legacy: True when the producing compressor was constructed with
+            ``legacy_scalars=True`` — byte charges then use the old
+            scalar accounting.
+    """
+
+    values: int
+    index_ints: int = 0
+    raw_bytes: int = 0
+    legacy_scalars: int | None = None
+    legacy: bool = False
+
+    @property
+    def scalars(self) -> int:
+        """Equivalent scalar count under the legacy accounting."""
+        if self.legacy_scalars is not None:
+            return self.legacy_scalars
+        return self.values + self.index_ints
+
+    def nbytes(self, dtype_bytes: int) -> int:
+        """Actual wire bytes under a ``dtype_bytes``-per-scalar policy."""
+        if self.legacy:
+            return self.scalars * int(dtype_bytes)
+        return (
+            self.values * int(dtype_bytes)
+            + self.index_ints * INDEX_BYTES
+            + self.raw_bytes
+        )
+
+    def __add__(self, other: "WireSize") -> "WireSize":
+        return WireSize(
+            values=self.values + other.values,
+            index_ints=self.index_ints + other.index_ints,
+            raw_bytes=self.raw_bytes + other.raw_bytes,
+            legacy_scalars=self.scalars + other.scalars,
+            legacy=self.legacy or other.legacy,
+        )
 
 
 class Compressor:
@@ -31,38 +98,82 @@ class Compressor:
 
     def compress(
         self, vec: np.ndarray, rng: np.random.Generator
-    ) -> tuple[np.ndarray, int]:
-        """Return (lossy reconstruction, wire size in scalars)."""
+    ) -> tuple[np.ndarray, WireSize]:
+        """Return (lossy reconstruction, wire size)."""
         raise NotImplementedError
+
+    def encode(
+        self, vec: np.ndarray, rng: np.random.Generator
+    ) -> tuple[dict[str, np.ndarray], WireSize] | None:
+        """Split ``vec`` into wire streams instead of a dense vector.
+
+        Returns ``None`` when this compressor has no stream form (the
+        caller then uses :meth:`compress` with the *same* rng — an
+        implementation must consume the rng in ``encode`` exactly when
+        it would in ``compress``, so either path sees identical draws).
+        """
+        return None
+
+    def decode(self, streams: dict[str, np.ndarray], size: int) -> np.ndarray:
+        """Materialize the dense reconstruction from wire streams.
+
+        Must be bit-identical to what :meth:`compress` would have
+        returned for the same input and rng.
+        """
+        raise NotImplementedError(f"{self.name} has no stream form")
 
 
 class NoCompression(Compressor):
     name = "none"
 
     def compress(self, vec, rng):
-        return np.array(vec, copy=True), int(vec.size)
+        return np.array(vec, copy=True), WireSize(values=int(vec.size))
 
 
 class TopKSparsifier(Compressor):
     """Keep the fraction ``ratio`` of largest-|x| coordinates.
 
-    Wire size: 2 scalars per kept coordinate (value + index).
+    Wire size: k values plus k ``int32`` indices (legacy accounting:
+    2 scalars per kept coordinate).
     """
 
     name = "topk"
 
-    def __init__(self, ratio: float) -> None:
+    def __init__(self, ratio: float, legacy_scalars: bool = False) -> None:
         if not 0.0 < ratio <= 1.0:
             raise ConfigError(f"ratio must be in (0, 1], got {ratio}")
         self.ratio = ratio
+        self.legacy = bool(legacy_scalars)
+
+    def _keep(self, vec: np.ndarray) -> np.ndarray:
+        k = max(1, int(round(self.ratio * vec.size)))
+        return np.argpartition(np.abs(vec), -k)[-k:]
+
+    def _wire(self, k: int) -> WireSize:
+        return WireSize(values=k, index_ints=k, legacy_scalars=2 * k, legacy=self.legacy)
 
     def compress(self, vec, rng):
         vec = np.asarray(vec, dtype=np.float64)
-        k = max(1, int(round(self.ratio * vec.size)))
-        keep = np.argpartition(np.abs(vec), -k)[-k:]
+        keep = self._keep(vec)
         out = np.zeros_like(vec)
         out[keep] = vec[keep]
-        return out, 2 * k
+        return out, self._wire(keep.size)
+
+    def encode(self, vec, rng):
+        if self.legacy:
+            return None  # legacy mode ships the dense reconstruction
+        vec = np.asarray(vec, dtype=np.float64)
+        keep = self._keep(vec)
+        streams = {
+            "indices": keep.astype(np.int32),
+            "values": vec[keep],
+        }
+        return streams, self._wire(keep.size)
+
+    def decode(self, streams, size):
+        out = np.zeros(size, dtype=streams["values"].dtype)
+        out[streams["indices"]] = streams["values"]
+        return out
 
 
 class RandomSubsampler(Compressor):
@@ -71,41 +182,76 @@ class RandomSubsampler(Compressor):
 
     name = "subsample"
 
-    def __init__(self, ratio: float) -> None:
+    def __init__(self, ratio: float, legacy_scalars: bool = False) -> None:
         if not 0.0 < ratio <= 1.0:
             raise ConfigError(f"ratio must be in (0, 1], got {ratio}")
         self.ratio = ratio
+        self.legacy = bool(legacy_scalars)
+
+    def _keep(self, vec: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = max(1, int(round(self.ratio * vec.size)))
+        return rng.choice(vec.size, size=k, replace=False)
+
+    def _wire(self, k: int) -> WireSize:
+        return WireSize(values=k, index_ints=k, legacy_scalars=2 * k, legacy=self.legacy)
 
     def compress(self, vec, rng):
         vec = np.asarray(vec, dtype=np.float64)
-        k = max(1, int(round(self.ratio * vec.size)))
-        keep = rng.choice(vec.size, size=k, replace=False)
+        keep = self._keep(vec, rng)
         out = np.zeros_like(vec)
-        out[keep] = vec[keep] * (vec.size / k)  # inverse-probability scaling
-        return out, 2 * k
+        out[keep] = vec[keep] * (vec.size / keep.size)  # inverse-probability scaling
+        return out, self._wire(keep.size)
+
+    def encode(self, vec, rng):
+        if self.legacy:
+            return None
+        vec = np.asarray(vec, dtype=np.float64)
+        keep = self._keep(vec, rng)
+        streams = {
+            "indices": keep.astype(np.int32),
+            # Scaled exactly as compress() scales, so decode() scatters
+            # bit-identical values.
+            "values": vec[keep] * (vec.size / keep.size),
+        }
+        return streams, self._wire(keep.size)
+
+    def decode(self, streams, size):
+        out = np.zeros(size, dtype=streams["values"].dtype)
+        out[streams["indices"]] = streams["values"]
+        return out
 
 
 class UniformQuantizer(Compressor):
     """b-bit stochastic uniform quantization over [min, max].
 
     Unbiased: each value rounds up with probability equal to its
-    fractional position between adjacent levels.  Wire size:
-    ``ceil(b/32)``-fraction of a float per coordinate plus 2 scalars for
-    the range.
+    fractional position between adjacent levels.  Wire size: 2 range
+    scalars plus ``ceil(size * b / 8)`` raw bytes of bit-packed levels
+    (legacy accounting: ``2 + ceil(size * b / 32)`` scalars).  The
+    reconstruction ships dense — there is no index stream to exploit.
     """
 
     name = "quantize"
 
-    def __init__(self, bits: int) -> None:
+    def __init__(self, bits: int, legacy_scalars: bool = False) -> None:
         if not 1 <= bits <= 16:
             raise ConfigError(f"bits must be in [1, 16], got {bits}")
         self.bits = bits
+        self.legacy = bool(legacy_scalars)
+
+    def _wire(self, size: int) -> WireSize:
+        return WireSize(
+            values=2,
+            raw_bytes=int(np.ceil(size * self.bits / 8.0)),
+            legacy_scalars=2 + int(np.ceil(size * self.bits / 32.0)),
+            legacy=self.legacy,
+        )
 
     def compress(self, vec, rng):
         vec = np.asarray(vec, dtype=np.float64)
         lo, hi = float(vec.min()), float(vec.max())
         if hi == lo:
-            return np.full_like(vec, lo), 2
+            return np.full_like(vec, lo), WireSize(values=2, legacy=self.legacy)
         levels = (1 << self.bits) - 1
         scaled = (vec - lo) / (hi - lo) * levels
         floor = np.floor(scaled)
@@ -113,8 +259,7 @@ class UniformQuantizer(Compressor):
         rounded = floor + (rng.random(vec.shape) < frac)
         rounded = np.clip(rounded, 0, levels)
         recon = lo + rounded / levels * (hi - lo)
-        wire = 2 + int(np.ceil(vec.size * self.bits / 32.0))
-        return recon, wire
+        return recon, self._wire(vec.size)
 
 
 def make_compressor(name: str, **kwargs) -> Compressor:

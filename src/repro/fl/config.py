@@ -26,7 +26,10 @@ class FLConfig:
         eval_batch: evaluation minibatch size (memory knob only).
         seed: master seed; all round/client randomness derives from it.
         wire_dtype_bytes: bytes per scalar on the wire for the
-            communication ledger (4 = float32, matching the paper).
+            communication ledger.  ``None`` (default) follows ``dtype``
+            — 4 under float32, 8 under float64 — so ledger totals are
+            dtype-true; an explicit value overrides (4 simulates the
+            paper's float32 wire from a float64 training run).
         num_workers: client-execution parallelism; workers > 1 trains
             the round's clients in a process pool with results reduced
             in selection order, bit-identical to ``num_workers=1``.
@@ -34,6 +37,12 @@ class FLConfig:
             num_workers > 1, else serial), 'serial', 'process' (one
             task per client), or 'chunked' (one contiguous client chunk
             per worker).
+        transport: how parallel workers exchange payloads with the
+            parent — 'wire' (packed flat buffers, round state broadcast
+            once per round through fork-inherited shared memory, a
+            persistent worker pool) or 'pickle' (the pre-wire
+            fork-per-round engine).  Results are bit-identical either
+            way; 'wire' is faster.
         dtype: compute precision for the whole run: 'float64' (default,
             bit-reproducible against the historical behaviour) or
             'float32' (~2x faster kernels, half-size payloads; results
@@ -51,15 +60,16 @@ class FLConfig:
     eval_every: int = 1
     eval_batch: int = 256
     seed: int = 0
-    wire_dtype_bytes: int = 4
+    wire_dtype_bytes: int | None = None
     num_workers: int = 1
     executor: str = "auto"
+    transport: str = "wire"
     dtype: str = "float64"
 
     def __post_init__(self) -> None:
         # Imported here: repro.fl.parallel depends on repro.exceptions only,
         # but keeping config import-light avoids any future cycle.
-        from repro.fl.parallel import EXECUTOR_MODES
+        from repro.fl.parallel import EXECUTOR_MODES, TRANSPORTS
 
         if self.rounds <= 0:
             raise ConfigError("rounds must be positive")
@@ -77,10 +87,25 @@ class FLConfig:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
             )
+        if self.transport not in TRANSPORTS:
+            raise ConfigError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
         if self.dtype not in ("float32", "float64"):
             raise ConfigError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
+        if self.wire_dtype_bytes is not None and self.wire_dtype_bytes <= 0:
+            raise ConfigError("wire_dtype_bytes must be positive (or None)")
+
+    def wire_bytes_per_scalar(self) -> int:
+        """Resolved per-scalar wire width: the explicit override, or the
+        itemsize of the run's compute dtype."""
+        if self.wire_dtype_bytes is not None:
+            return int(self.wire_dtype_bytes)
+        import numpy as np
+
+        return int(np.dtype(self.dtype).itemsize)
 
     def with_updates(self, **kwargs) -> "FLConfig":
         """Return a copy with the given fields replaced."""

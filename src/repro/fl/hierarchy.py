@@ -89,7 +89,7 @@ def run_hierarchical(
     assignment = assign_edges(fed.num_clients, num_edges, rng)
     model: SplitModel = model_fn()
     model_size = num_params(model)
-    ledger = CommLedger(config.wire_dtype_bytes)
+    ledger = CommLedger(config.wire_bytes_per_scalar())
 
     cloud_params = get_flat_params(model)
     edge_params = [cloud_params.copy() for _ in range(num_edges)]

@@ -8,41 +8,66 @@ change the numbers.  The engines here exploit that:
 
 * :class:`SerialExecutor` — the in-process reference loop.
 * :class:`ParallelExecutor` — a ``concurrent.futures`` process pool
-  (``fork`` start method) that ships picklable ``(position, client_id)``
-  task payloads to workers and the full algorithm state to each worker
-  process at fork time, once per round, so per-round state (delta
-  tables, previous local models, control variates) is always current.
+  (``fork`` start method) with two transports:
+
+  - ``'wire'`` (default): the pool is forked **once per run** and kept
+    alive across rounds; the round-constant algorithm state (global
+    parameters, delta tables, control variates) is packed into the
+    flat-buffer wire format (:mod:`repro.fl.wire`) and written into a
+    fork-inherited anonymous shared-memory buffer **once per round** —
+    workers map it zero-copy instead of re-receiving pickled state.
+    Workers return packed update buffers rather than pickled numpy
+    objects.
+  - ``'pickle'``: the pre-wire engine — one forked pool per round, the
+    algorithm shipped to workers as fork-inherited memory, results
+    returned as pickled :class:`ClientUpdate` records.
 
 **Determinism contract.**  ``Algorithm._client_update`` must not mutate
-shared algorithm state (worker-side mutations are discarded with the
-forked process); every per-client side effect belongs in
-``_commit_client``, which the round runs in *selection order* regardless
-of completion order.  Workers return :class:`ClientUpdate` records and
-the parent reduces them in selection order, so a parallel round is
-bit-identical to ``num_workers=1``.
+shared algorithm state (worker-side mutations are discarded); every
+per-client side effect belongs in ``_commit_client``, which the round
+runs in *selection order* regardless of completion order.  Workers
+return :class:`ClientUpdate` records and the parent reduces them in
+selection order, so a parallel round is bit-identical to
+``num_workers=1`` under either transport.
+
+**Wire-transport contract.**  Because wire workers live across rounds,
+everything a worker-side ``_client_update`` reads from shared algorithm
+state must be enumerated by ``Algorithm._worker_state()`` (and
+reinstated by ``_install_worker_state``); state not listed there goes
+stale in the workers after round 0.  Algorithms that cannot enumerate
+their round state set ``wire_transport_safe = False`` to force the
+pickle engine.
 
 **Fault tolerance.**  A worker crash (or any pool failure: fork
 unavailable, unpicklable results, poisoned tasks) degrades the executor
 to in-process serial execution with a :class:`RuntimeWarning` instead of
-killing the run; the determinism contract makes the retry safe.
+killing the run; a round-state payload the wire format cannot express
+falls back to the pickle transport the same way.  The determinism
+contract makes every retry safe.
 """
 
 from __future__ import annotations
 
+import mmap
 import multiprocessing
 import os
+import struct
 import time
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, WireError
+from repro.fl import wire
+from repro.fl.compression import WireSize
 from repro.obs.trace import NULL_TRACER
 
 EXECUTOR_MODES = ("auto", "serial", "process", "chunked")
+TRANSPORTS = ("wire", "pickle")
 
 
 @dataclass
@@ -52,8 +77,12 @@ class ClientUpdate:
     Attributes:
         client_id: the trained client.
         params: the parameters the server receives (after the fault /
-            compression upload pipeline).
-        wire: upload size in scalars (compressed size when compressing).
+            compression upload pipeline).  ``None`` while the update is
+            still carrying compressed wire streams — the round
+            materializes it before any reduction step runs.
+        wire: upload size in legacy scalar units (compressed size when
+            compressing); kept for backwards compatibility, the byte
+            accounting uses :attr:`wire_size`.
         task_loss: mean task loss over the local steps.
         reg_loss: mean (lambda-weighted) regularizer loss.
         num_steps: local steps actually run (FedNova's tau_k).
@@ -61,10 +90,16 @@ class ClientUpdate:
         worker: pid of the process that ran the work (0 = in-process).
         payload: algorithm-specific picklable extras (rFedAvg's delta,
             SCAFFOLD's control refresh, MOON's previous-model update).
+        params_streams: compressed wire streams (int32 ``indices`` +
+            ``values``) when a sparse compressor encoded the upload;
+            the server reconstructs ``params`` from them.
+        wire_size: exact on-wire footprint of the upload
+            (:class:`~repro.fl.compression.WireSize`); ``None`` falls
+            back to legacy scalar accounting.
     """
 
     client_id: int
-    params: np.ndarray
+    params: np.ndarray | None
     wire: int
     task_loss: float
     reg_loss: float
@@ -72,6 +107,8 @@ class ClientUpdate:
     train_seconds: float = 0.0
     worker: int = 0
     payload: dict | None = None
+    params_streams: dict | None = None
+    wire_size: WireSize | None = None
 
 
 class ClientExecutor:
@@ -85,7 +122,8 @@ class ClientExecutor:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release resources (pools are per-round, so a no-op here)."""
+        """Release pools / shared buffers.  The executor stays usable —
+        resources are re-created lazily on the next :meth:`run`."""
 
 
 class SerialExecutor(ClientExecutor):
@@ -102,12 +140,21 @@ class SerialExecutor(ClientExecutor):
         return updates
 
 
-# The worker-process side of ParallelExecutor.  The algorithm arrives
-# via the pool initializer (under fork, initargs are inherited memory,
-# never pickled), so closures, tracers and live numpy state all survive;
-# the per-task payloads that cross the call queue are plain picklable
+# The worker-process side of ParallelExecutor.  The algorithm (and, for
+# the wire transport, the shared state buffer) arrive via the pool
+# initializer — under fork, initargs are inherited memory, never
+# pickled — so closures, tracers and live numpy state all survive; the
+# per-task payloads that cross the call queue are plain picklable
 # tuples.
 _WORKER_ALGORITHM = None
+_WORKER_STATE_BUF: mmap.mmap | None = None
+_WORKER_STATE_SEQ = 0
+
+# Shared-memory round-state layout: [u64 payload length][u64 sequence]
+# then the packed state message.  The sequence number (monotone in the
+# parent) tells a worker whether its installed state is current, so an
+# executor reused across runs can never serve stale round-0 state.
+_STATE_HEADER = struct.Struct("<QQ")
 
 
 def _bind_worker_algorithm(algorithm) -> None:
@@ -116,6 +163,30 @@ def _bind_worker_algorithm(algorithm) -> None:
     # Child processes never report spans directly; timings travel back
     # inside ClientUpdate and the parent re-emits them.
     algorithm.tracer = NULL_TRACER
+
+
+def _bind_worker_transport(algorithm, state_buf: mmap.mmap) -> None:
+    global _WORKER_STATE_BUF, _WORKER_STATE_SEQ
+    _bind_worker_algorithm(algorithm)
+    _WORKER_STATE_BUF = state_buf
+    _WORKER_STATE_SEQ = 0
+
+
+def _install_round_state() -> None:
+    """Adopt the round state currently in the shared buffer (idempotent).
+
+    The parent writes the buffer strictly between rounds (all futures of
+    the previous round have completed, none of the next round are
+    submitted), so reading here never races a write, and the zero-copy
+    views stay valid for the whole round they are used in.
+    """
+    global _WORKER_STATE_SEQ
+    length, seq = _STATE_HEADER.unpack_from(_WORKER_STATE_BUF, 0)
+    if seq == _WORKER_STATE_SEQ:
+        return
+    view = memoryview(_WORKER_STATE_BUF)[_STATE_HEADER.size : _STATE_HEADER.size + length]
+    _WORKER_ALGORITHM._install_worker_state(wire.unpack_state(view))
+    _WORKER_STATE_SEQ = seq
 
 
 def _run_task(round_idx: int, slots: list[tuple[int, int]]) -> list[tuple[int, ClientUpdate]]:
@@ -129,24 +200,58 @@ def _run_task(round_idx: int, slots: list[tuple[int, int]]) -> list[tuple[int, C
     return out
 
 
+def _run_wire_task(
+    round_idx: int, slots: list[tuple[int, int]]
+) -> list[tuple[int, bytes | ClientUpdate]]:
+    """Wire-transport task: refresh round state, return packed updates.
+
+    An update the wire format cannot express (exotic payload values)
+    falls back to the pickled record for that client only.
+    """
+    _install_round_state()
+    pid = os.getpid()
+    out: list[tuple[int, bytes | ClientUpdate]] = []
+    for position, client_id in slots:
+        update = _WORKER_ALGORITHM._client_update(round_idx, client_id)
+        update.worker = pid
+        try:
+            out.append((position, wire.pack_client_update(update)))
+        except WireError:
+            out.append((position, update))
+    return out
+
+
 class ParallelExecutor(ClientExecutor):
-    """Process-pool engine: one forked pool per round.
+    """Process-pool engine.
 
     Args:
-        num_workers: pool size (capped at the round's client count).
+        num_workers: pool size (capped at the round's client count for
+            scheduling purposes).
         chunked: schedule contiguous client chunks (one task per worker,
-            fewer pickling round-trips) instead of one task per client
+            fewer queue round-trips) instead of one task per client
             (better load balance under heterogeneous client cost).
+        transport: ``'wire'`` (persistent pool, shared-memory round
+            state, packed results — the default) or ``'pickle'`` (one
+            forked pool per round, pickled results).
     """
 
     name = "process"
 
-    def __init__(self, num_workers: int, chunked: bool = False) -> None:
+    def __init__(
+        self, num_workers: int, chunked: bool = False, transport: str = "wire"
+    ) -> None:
         if num_workers < 1:
             raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        if transport not in TRANSPORTS:
+            raise ConfigError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
         self.num_workers = num_workers
         self.chunked = chunked
+        self.transport = transport
         self._fallback: SerialExecutor | None = None
+        self._pool: _ProcessPool | None = None
+        self._mmap: mmap.mmap | None = None
+        self._bound = None  # weakref to the algorithm forked into the pool
+        self._seq = 0
 
     # -- degradation ---------------------------------------------------------------
     @property
@@ -155,6 +260,7 @@ class ParallelExecutor(ClientExecutor):
         return self._fallback is not None
 
     def _degrade(self, reason: str) -> SerialExecutor:
+        self._close_wire()
         warnings.warn(
             f"parallel client execution disabled ({reason}); "
             "continuing with in-process serial execution",
@@ -173,6 +279,7 @@ class ParallelExecutor(ClientExecutor):
         bounds = np.array_split(np.arange(len(slots)), num_chunks)
         return [[slots[i] for i in chunk] for chunk in bounds if len(chunk)]
 
+    # -- pickle transport (one pool per round) -------------------------------------
     def _run_pool(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
         context = multiprocessing.get_context("fork")
         workers = min(self.num_workers, len(client_ids))
@@ -194,6 +301,95 @@ class ParallelExecutor(ClientExecutor):
             raise RuntimeError(f"workers returned no result for clients {missing}")
         return results  # type: ignore[return-value]
 
+    # -- wire transport (persistent pool + shared-memory state) --------------------
+    def _use_wire(self, algorithm) -> bool:
+        return (
+            self.transport == "wire"
+            and getattr(algorithm, "wire_transport_safe", False)
+            and hasattr(algorithm, "_worker_state")
+        )
+
+    def _close_wire(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._bound = None
+
+    def close(self) -> None:
+        self._close_wire()
+
+    def _ensure_wire_pool(self, algorithm, state_len: int) -> None:
+        """Fork the persistent pool (or re-fork it when the bound
+        algorithm changed or the state outgrew the shared buffer)."""
+        needed = _STATE_HEADER.size + state_len
+        if self._pool is not None:
+            bound = self._bound() if self._bound is not None else None
+            if bound is not algorithm or needed > len(self._mmap):
+                self._close_wire()
+        if self._pool is None:
+            # Round state is fixed-size after setup for every built-in
+            # algorithm, so a small slack absorbs header jitter without
+            # re-forks.
+            self._mmap = mmap.mmap(-1, needed + 4096)
+            self._pool = _ProcessPool(
+                max_workers=self.num_workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_bind_worker_transport,
+                initargs=(algorithm, self._mmap),
+            )
+            self._bound = weakref.ref(algorithm)
+
+    def _broadcast_state(self, packed: bytes) -> None:
+        """Publish the round state: one write, visible to every worker."""
+        self._seq += 1
+        header_size = _STATE_HEADER.size
+        self._mmap[:header_size] = _STATE_HEADER.pack(len(packed), self._seq)
+        self._mmap[header_size : header_size + len(packed)] = packed
+
+    def _run_wire_pool(
+        self, algorithm, round_idx: int, client_ids: list[int]
+    ) -> list[ClientUpdate]:
+        packed = wire.pack_state(algorithm._worker_state())
+        self._ensure_wire_pool(algorithm, len(packed))
+        self._broadcast_state(packed)
+        results: list[ClientUpdate | None] = [None] * len(client_ids)
+        futures = [
+            self._pool.submit(_run_wire_task, round_idx, task)
+            for task in self._tasks(client_ids)
+        ]
+        for future in as_completed(futures):
+            for position, item in future.result():
+                if isinstance(item, (bytes, bytearray)):
+                    item = wire.unpack_client_update(item)
+                results[position] = item
+        missing = [client_ids[i] for i, u in enumerate(results) if u is None]
+        if missing:
+            raise RuntimeError(f"workers returned no result for clients {missing}")
+        return results  # type: ignore[return-value]
+
+    def _dispatch(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
+        if self._use_wire(algorithm):
+            try:
+                return self._run_wire_pool(algorithm, round_idx, client_ids)
+            except WireError as exc:
+                # The algorithm's round state cannot ride the packed
+                # format; parallelism itself is fine — use pickling.
+                self._close_wire()
+                warnings.warn(
+                    f"packed wire transport unavailable ({exc}); "
+                    "falling back to the pickle transport",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                self.transport = "pickle"
+        return self._run_pool(algorithm, round_idx, client_ids)
+
     # -- execution -----------------------------------------------------------------
     def run(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
         if self._fallback is not None:
@@ -206,7 +402,7 @@ class ParallelExecutor(ClientExecutor):
             )
         started = time.perf_counter()
         try:
-            updates = self._run_pool(algorithm, round_idx, [int(c) for c in client_ids])
+            updates = self._dispatch(algorithm, round_idx, [int(c) for c in client_ids])
         except Exception as exc:  # worker crash, pickling failure, pool breakage
             return self._degrade(f"worker pool failed: {exc!r}").run(
                 algorithm, round_idx, client_ids
@@ -258,12 +454,14 @@ def make_executor(config) -> ClientExecutor:
 
     ``executor='auto'`` picks the process pool whenever
     ``num_workers > 1`` and the serial loop otherwise; ``'serial'``,
-    ``'process'`` and ``'chunked'`` force a specific engine.
+    ``'process'`` and ``'chunked'`` force a specific engine.  The
+    config's ``transport`` selects how the pool moves payloads.
     """
     mode = getattr(config, "executor", "auto")
     workers = int(getattr(config, "num_workers", 1))
+    transport = getattr(config, "transport", "wire")
     if mode not in EXECUTOR_MODES:
         raise ConfigError(f"executor must be one of {EXECUTOR_MODES}, got {mode!r}")
     if mode == "serial" or (mode == "auto" and workers <= 1):
         return SerialExecutor()
-    return ParallelExecutor(workers, chunked=(mode == "chunked"))
+    return ParallelExecutor(workers, chunked=(mode == "chunked"), transport=transport)

@@ -76,17 +76,23 @@ def run_federated(
     # policy is process-global, so fork-started worker processes inherit
     # it automatically.
     with default_dtype(config.dtype):
-        return _run_federated(
-            algorithm,
-            fed,
-            model_fn,
-            config,
-            eval_per_client=eval_per_client,
-            callbacks=callbacks,
-            selector=selector,
-            tracer=tracer,
-            progress=progress,
-        )
+        try:
+            return _run_federated(
+                algorithm,
+                fed,
+                model_fn,
+                config,
+                eval_per_client=eval_per_client,
+                callbacks=callbacks,
+                selector=selector,
+                tracer=tracer,
+                progress=progress,
+            )
+        finally:
+            # The wire transport keeps a worker pool and a shared-memory
+            # buffer alive across rounds; release them with the run.  An
+            # executor stays usable — it re-creates its pool lazily.
+            algorithm.executor.close()
 
 
 def _run_federated(

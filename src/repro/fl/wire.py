@@ -1,0 +1,306 @@
+"""Packed flat-buffer wire format for federated payloads.
+
+Everything that crosses the client-server boundary (or a worker-process
+boundary) is a small set of named numpy arrays plus a handful of scalar
+fields.  Pickling those is convenient but wasteful: every message pays
+the full pickle machinery, dense float64 copies of sparse payloads, and
+per-task re-serialization of round-constant state.  This module defines
+a minimal self-describing binary layout instead:
+
+    offset 0   magic          b"RFW1"
+           4   version        u8  (currently 1)
+           5   kind           u8  (KIND_CODES)
+           6   segment count  u16 LE
+           8   header length  u32 LE (magic through segment table)
+          12   total length   u64 LE (whole message)
+          20   segment table  one entry per segment
+           -   payload        contiguous segment buffers, each 8-aligned
+
+    segment entry:
+        flag      u8  (0 = array, 1 = float scalar, 2 = int scalar)
+        dtype     u8  (DTYPE_CODES)
+        ndim      u8
+        name len  u8
+        offset    u64 LE (from message start)
+        dims      ndim x u64 LE
+        name      utf-8 bytes
+
+The payload buffers are dtype-true — a float32 vector costs 4 bytes per
+scalar on the wire, never a pickled float64 copy — and :func:`unpack`
+returns **zero-copy read-only views** into the source buffer, so a
+worker can decode a round-state broadcast out of shared memory without
+materializing anything.
+
+Three message kinds are used by the transport layer:
+
+* ``"state"`` — the round-constant algorithm state the parent broadcasts
+  to workers once per round (:meth:`FederatedAlgorithm._worker_state`).
+* ``"update"`` — one finished :class:`~repro.fl.parallel.ClientUpdate`,
+  including compressed index/value streams when a sparsifying
+  compressor is active.
+* ``"generic"`` — free-form named segments.
+
+Anything that cannot be expressed as named arrays / float / int
+segments raises :class:`~repro.exceptions.WireError`; callers treat
+that as "fall back to pickle", never as a fatal error.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import WireError
+
+MAGIC = b"RFW1"
+VERSION = 1
+
+KIND_CODES = {"generic": 0, "update": 1, "state": 2}
+_KIND_NAMES = {code: name for name, code in KIND_CODES.items()}
+
+# Wire dtype registry.  Only dtypes that actually cross the boundary are
+# admitted; anything else (object arrays, strings) must go via pickle.
+DTYPE_CODES = {
+    np.dtype(np.float32): 0,
+    np.dtype(np.float64): 1,
+    np.dtype(np.int32): 2,
+    np.dtype(np.int64): 3,
+    np.dtype(np.bool_): 4,
+    np.dtype(np.uint8): 5,
+}
+_CODE_DTYPES = {code: dt for dt, code in DTYPE_CODES.items()}
+
+_FLAG_ARRAY = 0
+_FLAG_FLOAT = 1
+_FLAG_INT = 2
+
+_HEADER = struct.Struct("<4sBBHIQ")  # magic, version, kind, nseg, hdr_len, total_len
+_ENTRY_FIXED = struct.Struct("<BBBBQ")  # flag, dtype, ndim, name_len, offset
+
+_ALIGN = 8
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _as_segment(name: str, value) -> tuple[int, np.ndarray]:
+    """Normalize one segment value to (flag, contiguous ndarray)."""
+    if isinstance(value, np.ndarray):
+        if value.dtype not in DTYPE_CODES:
+            raise WireError(f"segment {name!r}: unsupported dtype {value.dtype}")
+        return _FLAG_ARRAY, np.ascontiguousarray(value)
+    if isinstance(value, (bool, np.bool_)):
+        return _FLAG_INT, np.asarray(int(value), dtype=np.int64)
+    if isinstance(value, (int, np.integer)):
+        return _FLAG_INT, np.asarray(int(value), dtype=np.int64)
+    if isinstance(value, (float, np.floating)):
+        return _FLAG_FLOAT, np.asarray(float(value), dtype=np.float64)
+    raise WireError(f"segment {name!r}: cannot encode {type(value).__name__}")
+
+
+def pack(kind: str, segments: Mapping[str, object]) -> bytes:
+    """Encode named segments into one contiguous wire message."""
+    if kind not in KIND_CODES:
+        raise WireError(f"unknown message kind {kind!r}")
+    normalized: list[tuple[str, bytes, int, np.ndarray]] = []
+    for name, value in segments.items():
+        name_bytes = name.encode("utf-8")
+        if not name_bytes or len(name_bytes) > 255:
+            raise WireError(f"segment name {name!r} must encode to 1..255 bytes")
+        flag, arr = _as_segment(name, value)
+        if arr.ndim > 255:
+            raise WireError(f"segment {name!r}: too many dimensions")
+        normalized.append((name, name_bytes, flag, arr))
+
+    header_len = _HEADER.size + sum(
+        _ENTRY_FIXED.size + arr.ndim * 8 + len(name_bytes)
+        for _, name_bytes, _, arr in normalized
+    )
+    offsets: list[int] = []
+    cursor = _align(header_len)
+    for _, _, _, arr in normalized:
+        offsets.append(cursor)
+        cursor = _align(cursor + arr.nbytes)
+    total_len = cursor
+
+    buf = bytearray(total_len)
+    _HEADER.pack_into(
+        buf, 0, MAGIC, VERSION, KIND_CODES[kind], len(normalized), header_len, total_len
+    )
+    pos = _HEADER.size
+    for (name, name_bytes, flag, arr), offset in zip(normalized, offsets):
+        _ENTRY_FIXED.pack_into(
+            buf, pos, flag, DTYPE_CODES[arr.dtype], arr.ndim, len(name_bytes), offset
+        )
+        pos += _ENTRY_FIXED.size
+        for dim in arr.shape:
+            struct.pack_into("<Q", buf, pos, dim)
+            pos += 8
+        buf[pos : pos + len(name_bytes)] = name_bytes
+        pos += len(name_bytes)
+        buf[offset : offset + arr.nbytes] = arr.tobytes()
+    return bytes(buf)
+
+
+def unpack(buf) -> tuple[str, dict[str, object]]:
+    """Decode a wire message into ``(kind, segments)``.
+
+    Array segments come back as zero-copy **read-only** views into
+    ``buf`` (which may be bytes, a memoryview, or an mmap); scalar
+    segments come back as plain ``float`` / ``int``.  The views keep
+    ``buf`` alive, but a caller that overwrites a shared buffer in place
+    (the round-state mmap) must not hold views across the overwrite.
+    """
+    view = memoryview(buf)
+    if len(view) < _HEADER.size:
+        raise WireError(f"message truncated: {len(view)} bytes")
+    magic, version, kind_code, nseg, header_len, total_len = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if kind_code not in _KIND_NAMES:
+        raise WireError(f"unknown kind code {kind_code}")
+    if total_len > len(view) or header_len > total_len:
+        raise WireError(
+            f"message truncated: header claims {total_len} bytes, have {len(view)}"
+        )
+
+    segments: dict[str, object] = {}
+    pos = _HEADER.size
+    for _ in range(nseg):
+        flag, dtype_code, ndim, name_len, offset = _ENTRY_FIXED.unpack_from(view, pos)
+        pos += _ENTRY_FIXED.size
+        dims = struct.unpack_from(f"<{ndim}Q", view, pos) if ndim else ()
+        pos += ndim * 8
+        name = bytes(view[pos : pos + name_len]).decode("utf-8")
+        pos += name_len
+        dtype = _CODE_DTYPES.get(dtype_code)
+        if dtype is None:
+            raise WireError(f"segment {name!r}: unknown dtype code {dtype_code}")
+        count = int(np.prod(dims, dtype=np.int64)) if ndim else 1
+        end = offset + count * dtype.itemsize
+        if end > total_len:
+            raise WireError(f"segment {name!r} overruns the message")
+        arr = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+        if flag == _FLAG_FLOAT:
+            segments[name] = float(arr[0])
+        elif flag == _FLAG_INT:
+            segments[name] = int(arr[0])
+        else:
+            arr = arr.reshape(dims)
+            arr.flags.writeable = False
+            segments[name] = arr
+    return _KIND_NAMES[kind_code], segments
+
+
+# -- round-state broadcast ----------------------------------------------------------
+
+
+def pack_state(state: Mapping[str, object]) -> bytes:
+    """Encode a round-state dict (arrays / scalars) for broadcast."""
+    return pack("state", state)
+
+
+def unpack_state(buf) -> dict[str, object]:
+    """Decode a round-state broadcast; arrays are zero-copy views."""
+    kind, segments = unpack(buf)
+    if kind != "state":
+        raise WireError(f"expected a state message, got {kind!r}")
+    return segments
+
+
+# -- client updates -----------------------------------------------------------------
+
+# Fixed numeric fields of ClientUpdate, packed as scalar segments.
+_UPDATE_INTS = ("client_id", "wire", "num_steps", "worker")
+_UPDATE_FLOATS = ("task_loss", "reg_loss", "train_seconds")
+
+
+def pack_client_update(update) -> bytes:
+    """Encode a :class:`~repro.fl.parallel.ClientUpdate`.
+
+    Raises :class:`WireError` when the update carries anything the
+    format cannot express (e.g. an exotic payload value); the transport
+    then falls back to returning the pickled update.
+    """
+    segments: dict[str, object] = {}
+    for field in _UPDATE_INTS:
+        segments[f"f.{field}"] = int(getattr(update, field))
+    for field in _UPDATE_FLOATS:
+        segments[f"f.{field}"] = float(getattr(update, field))
+    if update.params is not None:
+        segments["params"] = update.params
+    if update.wire_size is not None:
+        ws = update.wire_size
+        legacy_scalars = -1 if ws.legacy_scalars is None else int(ws.legacy_scalars)
+        segments["wire_size"] = np.array(
+            [ws.values, ws.index_ints, ws.raw_bytes, legacy_scalars, int(ws.legacy)],
+            dtype=np.int64,
+        )
+    if update.params_streams:
+        for name, value in update.params_streams.items():
+            if not isinstance(value, np.ndarray):
+                raise WireError(f"stream {name!r} must be an ndarray")
+            segments[f"s.{name}"] = value
+    if update.payload:
+        for name, value in update.payload.items():
+            segments[f"p.{name}"] = value
+    return pack("update", segments)
+
+
+def unpack_client_update(buf):
+    """Decode a packed client update; array fields are zero-copy views."""
+    from repro.fl.compression import WireSize
+    from repro.fl.parallel import ClientUpdate
+
+    kind, segments = unpack(buf)
+    if kind != "update":
+        raise WireError(f"expected an update message, got {kind!r}")
+    fields: dict[str, object] = {}
+    streams: dict[str, np.ndarray] = {}
+    payload: dict[str, object] = {}
+    params = None
+    wire_size = None
+    for name, value in segments.items():
+        prefix, _, rest = name.partition(".")
+        if prefix == "f":
+            fields[rest] = value
+        elif prefix == "s":
+            streams[rest] = value
+        elif prefix == "p":
+            payload[rest] = value
+        elif name == "params":
+            params = value
+        elif name == "wire_size":
+            values, index_ints, raw_bytes, legacy_scalars, legacy = (
+                int(x) for x in value
+            )
+            wire_size = WireSize(
+                values=values,
+                index_ints=index_ints,
+                raw_bytes=raw_bytes,
+                legacy_scalars=None if legacy_scalars < 0 else legacy_scalars,
+                legacy=bool(legacy),
+            )
+        else:
+            raise WireError(f"unexpected segment {name!r} in update message")
+    missing = [f for f in _UPDATE_INTS + _UPDATE_FLOATS if f not in fields]
+    if missing:
+        raise WireError(f"update message missing fields {missing}")
+    return ClientUpdate(
+        client_id=int(fields["client_id"]),
+        params=params,
+        wire=int(fields["wire"]),
+        task_loss=float(fields["task_loss"]),
+        reg_loss=float(fields["reg_loss"]),
+        num_steps=int(fields["num_steps"]),
+        train_seconds=float(fields["train_seconds"]),
+        worker=int(fields["worker"]),
+        payload=payload or None,
+        params_streams=streams or None,
+        wire_size=wire_size,
+    )

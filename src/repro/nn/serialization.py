@@ -11,6 +11,8 @@ back into a model casts to each parameter's dtype.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.nn.dtype import get_default_dtype
@@ -64,6 +66,24 @@ def add_flat_to_grads(model: Module, flat: np.ndarray) -> None:
     for p in model.parameters():
         p.grad += flat[offset : offset + p.size].reshape(p.shape)
         offset += p.size
+
+
+def params_fingerprint(model: Module) -> bytes:
+    """Content hash of a module's parameters (blake2b-128).
+
+    Bit-exact: two parameter sets fingerprint equal iff every tensor is
+    byte-identical (shape, dtype and values).  Used to key the
+    delta-embedding cache on the feature extractor's version — hashing
+    a small model is an order of magnitude cheaper than one forward
+    pass over a client shard.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for p in model.parameters():
+        data = np.ascontiguousarray(p.data)
+        digest.update(str(data.dtype).encode())
+        digest.update(str(data.shape).encode())
+        digest.update(data.tobytes())
+    return digest.digest()
 
 
 def save_params(model: Module, path: str) -> None:

@@ -89,6 +89,6 @@ def test_fedavg_comm_is_model_only(toy_federation, fast_config):
     assert alg.ledger.total("up:delta") == 0
     # Each round: model down + model up per client.
     n = toy_federation.num_clients
-    expected = fast_config.rounds * n * alg.model_size * fast_config.wire_dtype_bytes
+    expected = fast_config.rounds * n * alg.model_size * fast_config.wire_bytes_per_scalar()
     assert alg.ledger.total("down") == expected
     assert alg.ledger.total("up") == expected

@@ -53,7 +53,7 @@ def test_broadcast_cost_scales_with_n_squared(toy_federation, fast_config):
     run_federated(alg, toy_federation, _model_fn(toy_federation), fast_config)
     n = toy_federation.num_clients
     d = alg.model.feature_dim
-    per_round = n * n * d * fast_config.wire_dtype_bytes
+    per_round = n * n * d * fast_config.wire_bytes_per_scalar()
     # Rounds 1..R-1 broadcast the table (round 0 has nothing to send).
     expected = (fast_config.rounds - 1) * per_round
     assert alg.ledger.total("down:delta") == expected
@@ -64,7 +64,7 @@ def test_upload_includes_own_delta(toy_federation, fast_config):
     run_federated(alg, toy_federation, _model_fn(toy_federation), fast_config)
     n = toy_federation.num_clients
     d = alg.model.feature_dim
-    expected = fast_config.rounds * n * d * fast_config.wire_dtype_bytes
+    expected = fast_config.rounds * n * d * fast_config.wire_bytes_per_scalar()
     assert alg.ledger.total("up:delta") == expected
 
 

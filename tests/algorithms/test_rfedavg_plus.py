@@ -61,7 +61,7 @@ def test_broadcast_cost_scales_linearly_in_n(toy_federation, fast_config):
     run_federated(alg, toy_federation, _model_fn(toy_federation), fast_config)
     n = toy_federation.num_clients
     d = alg.model.feature_dim
-    expected = (fast_config.rounds - 1) * n * d * fast_config.wire_dtype_bytes
+    expected = (fast_config.rounds - 1) * n * d * fast_config.wire_bytes_per_scalar()
     assert alg.ledger.total("down:delta") == expected
 
 

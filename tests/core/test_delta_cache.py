@@ -1,0 +1,160 @@
+"""Delta-embedding cache tests (:class:`repro.core.delta.DeltaCache`).
+
+The cache memoizes raw mean embeddings keyed on content fingerprints of
+(phi parameters, client data).  The load-bearing properties: a cached
+run is bit-identical to an uncached one, any phi or data change
+invalidates, and the obs layer sees hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaCache
+from tests.conftest import make_toy_federation
+from tests.helpers import assert_equivalent_runs, run_with_workers
+
+
+# -- unit behaviour ---------------------------------------------------------------
+
+
+def test_miss_then_hit_then_rekey():
+    cache = DeltaCache()
+    delta = np.arange(4.0)
+    assert cache.lookup(0, b"phi1", b"data1") is None
+    cache.store(0, b"phi1", b"data1", delta)
+    np.testing.assert_array_equal(cache.lookup(0, b"phi1", b"data1"), delta)
+    # Either fingerprint moving on misses.
+    assert cache.lookup(0, b"phi2", b"data1") is None
+    assert cache.lookup(0, b"phi1", b"data2") is None
+    assert (cache.hits, cache.misses) == (1, 3)
+
+
+def test_entries_are_isolated_per_client():
+    cache = DeltaCache()
+    cache.store(0, b"p", b"d", np.zeros(2))
+    assert cache.lookup(1, b"p", b"d") is None
+
+
+def test_lookup_returns_a_copy():
+    cache = DeltaCache()
+    cache.store(0, b"p", b"d", np.zeros(3))
+    out = cache.lookup(0, b"p", b"d")
+    out[:] = 99.0
+    np.testing.assert_array_equal(cache.lookup(0, b"p", b"d"), np.zeros(3))
+
+
+def test_store_copies_the_delta():
+    cache = DeltaCache()
+    delta = np.zeros(3)
+    cache.store(0, b"p", b"d", delta)
+    delta[:] = 99.0
+    np.testing.assert_array_equal(cache.lookup(0, b"p", b"d"), np.zeros(3))
+
+
+def test_clear_drops_entries():
+    cache = DeltaCache()
+    cache.store(0, b"p", b"d", np.zeros(2))
+    cache.clear()
+    assert cache.lookup(0, b"p", b"d") is None
+
+
+# -- fingerprints -----------------------------------------------------------------
+
+
+def test_params_fingerprint_tracks_in_place_mutation():
+    from repro.models import build_mlp
+    from repro.nn.serialization import params_fingerprint
+
+    model = build_mlp(16, 4, np.random.default_rng(0), (8,), feature_dim=6)
+    before = params_fingerprint(model.features)
+    assert before == params_fingerprint(model.features)  # deterministic
+    model.features.parameters()[0].data += 1e-9
+    assert params_fingerprint(model.features) != before
+
+
+def test_content_fingerprint_tracks_data_mutation():
+    from repro.data.dataset import ArrayDataset
+
+    shard = ArrayDataset(np.zeros((5, 3)), np.zeros(5, dtype=np.int64))
+    before = shard.content_fingerprint()
+    assert before == shard.content_fingerprint()
+    shard.x[0, 0] = 1.0
+    assert shard.content_fingerprint() != before
+
+
+# -- end-to-end bit-identity ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return make_toy_federation(similarity=0.0)
+
+
+def _config(**overrides):
+    from repro.fl.config import FLConfig
+
+    base = dict(rounds=3, local_steps=2, batch_size=8, lr=0.1, seed=31)
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+@pytest.mark.parametrize("name", ["rfedavg", "rfedavg+", "rfedavg_exact"])
+def test_cached_run_is_bit_identical_to_uncached(fed, name):
+    kwargs = {"lam": 1e-3}
+    cached = run_with_workers(name, {**kwargs, "delta_cache": True}, fed, _config(),
+                              num_workers=1)
+    uncached = run_with_workers(name, {**kwargs, "delta_cache": False}, fed, _config(),
+                                num_workers=1)
+    assert cached[0].delta_cache is not None
+    assert uncached[0].delta_cache is None
+    assert_equivalent_runs(uncached, cached)
+
+
+def test_cache_hits_during_a_run_and_reports_to_obs(fed):
+    """The exact variant recomputes every client's delta at round start
+    from the same phi the previous round's sync used — those must hit."""
+    from repro.algorithms import make_algorithm
+    from repro.fl.trainer import run_federated
+    from repro.obs.trace import Tracer
+    from tests.helpers import tiny_model_fn
+
+    tracer = Tracer()
+    alg = make_algorithm("rfedavg_exact", lam=1e-3)
+    run_federated(alg, fed, tiny_model_fn(fed), _config(), tracer=tracer)
+    assert alg.delta_cache.hits > 0
+    assert alg.delta_cache.misses > 0
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["delta_cache.hits"] == alg.delta_cache.hits
+    assert counters["delta_cache.misses"] == alg.delta_cache.misses
+
+
+def test_cached_run_with_privacy_is_bit_identical(fed):
+    """Privacy noise is applied per call from a keyed stream, never
+    cached — so the cache must not perturb privatized runs either."""
+    from repro.core.privacy import GaussianDeltaMechanism
+
+    kwargs = {"lam": 1e-3}
+
+    def run(delta_cache):
+        from repro.algorithms import make_algorithm
+        from repro.fl.trainer import run_federated
+        from tests.helpers import tiny_model_fn
+
+        alg = make_algorithm(
+            "rfedavg+", **kwargs, delta_cache=delta_cache,
+            privacy=GaussianDeltaMechanism(sigma=1.0),
+        )
+        history = run_federated(alg, fed, tiny_model_fn(fed), _config(seed=32))
+        return alg, history
+
+    assert_equivalent_runs(run(False), run(True))
+
+
+def test_cached_parallel_wire_run_is_bit_identical(fed):
+    """Workers keep their own cache instances; results must not drift."""
+    serial = run_with_workers("rfedavg+", {"lam": 1e-3}, fed, _config(), num_workers=1)
+    parallel = run_with_workers("rfedavg+", {"lam": 1e-3}, fed, _config(), num_workers=4)
+    assert parallel[0].executor.transport == "wire"
+    assert_equivalent_runs(serial, parallel)

@@ -4,11 +4,82 @@ import numpy as np
 import pytest
 
 from repro.fl.comm import CommLedger, vector_bytes
+from repro.nn.dtype import default_dtype
 
 
 def test_vector_bytes():
     assert vector_bytes(100, 4) == 400
     assert vector_bytes(100, 8) == 800
+
+
+def test_vector_bytes_follows_dtype_policy():
+    with default_dtype("float32"):
+        assert vector_bytes(100) == 400
+    with default_dtype("float64"):
+        assert vector_bytes(100) == 800
+
+
+@pytest.mark.parametrize("dtype,itemsize", [("float32", 4), ("float64", 8)])
+def test_ledger_default_width_follows_dtype_policy(dtype, itemsize):
+    with default_dtype(dtype):
+        ledger = CommLedger()
+    assert ledger.dtype_bytes == itemsize
+    ledger.charge(CommLedger.UP, "model", 10)
+    assert ledger.end_round()["up"] == 10 * itemsize
+
+
+def test_ledger_explicit_width_overrides_policy():
+    with default_dtype("float64"):
+        ledger = CommLedger(dtype_bytes=4)
+    assert ledger.dtype_bytes == 4
+    ledger.charge(CommLedger.DOWN, "model", 10)
+    assert ledger.end_round()["down"] == 40
+
+
+def test_float32_totals_exactly_half_of_float64():
+    """The acceptance invariant: same uncompressed traffic, half the
+    bytes under the float32 policy."""
+    ledgers = {}
+    for dtype in ("float32", "float64"):
+        with default_dtype(dtype):
+            ledger = CommLedger()
+        for _round in range(3):
+            ledger.charge(CommLedger.DOWN, "model", 1234, copies=5)
+            ledger.charge(CommLedger.UP, "model", 1234, copies=5)
+            ledger.charge(CommLedger.UP, "delta", 77, copies=5)
+            ledger.end_round()
+        ledgers[dtype] = ledger
+    assert ledgers["float64"].total() == 2 * ledgers["float32"].total()
+    for key in ("down:model", "up:model", "up:delta"):
+        assert ledgers["float64"].total(key) == 2 * ledgers["float32"].total(key)
+
+
+def test_end_to_end_float32_run_charges_half_the_bytes(toy_federation, fast_config):
+    """A full float32 job moves the same scalar counts as float64, so
+    its ledger totals must come out exactly halved."""
+    from repro.algorithms import FedAvg
+    from repro.fl.trainer import run_federated
+    from tests.helpers import tiny_model_fn
+
+    totals = {}
+    for dtype in ("float32", "float64"):
+        alg = FedAvg()
+        run_federated(
+            alg, toy_federation, tiny_model_fn(toy_federation),
+            fast_config.with_updates(dtype=dtype),
+        )
+        totals[dtype] = alg.ledger.total()
+    assert totals["float64"] == 2 * totals["float32"]
+
+
+def test_charge_bytes_is_dtype_independent():
+    ledger = CommLedger(dtype_bytes=8)
+    ledger.charge_bytes(CommLedger.UP, "model", 123, copies=2)
+    totals = ledger.end_round()
+    assert totals["up"] == 246
+    assert totals["up:model"] == 246
+    with pytest.raises(ValueError):
+        ledger.charge_bytes("sideways", "model", 1)
 
 
 def test_charge_accumulates_by_direction_and_kind():

@@ -66,7 +66,45 @@ def test_parallel_run_is_bit_identical_to_serial(fed, name, kwargs):
     parallel = run_with_workers(name, kwargs, fed, config, num_workers=WORKERS)
     assert parallel[0].executor.name == "process"
     assert not parallel[0].executor.degraded
+    # The wire transport must have stayed active — a silent fallback to
+    # pickling flips this attribute and would mask a packing regression.
+    assert parallel[0].executor.transport == "wire"
     assert_equivalent_runs(serial, parallel)
+
+
+@pytest.mark.parametrize("name,kwargs", [
+    ("fedavg", {}),
+    ("scaffold", {}),
+    ("rfedavg+", {"lam": 1e-3}),
+])
+def test_pickle_transport_is_bit_identical_to_wire(fed, name, kwargs):
+    """The two transports must be interchangeable, bit for bit."""
+    config = _config(seed=15)
+    wire_run = run_with_workers(name, kwargs, fed, config, num_workers=WORKERS)
+    pickle_run = run_with_workers(
+        name, kwargs, fed, config, num_workers=WORKERS, transport="pickle"
+    )
+    assert wire_run[0].executor.transport == "wire"
+    assert pickle_run[0].executor.transport == "pickle"
+    assert_equivalent_runs(wire_run, pickle_run)
+
+
+def test_unsafe_algorithm_uses_pickle_engine(fed):
+    """wire_transport_safe=False must route around the persistent pool."""
+    from repro.algorithms import FedAvg
+    from repro.fl.trainer import run_federated
+    from tests.helpers import tiny_model_fn
+
+    class _OptedOut(FedAvg):
+        name = "fedavg"
+        wire_transport_safe = False
+
+    config = _config(seed=16, num_workers=WORKERS)
+    serial = run_with_workers("fedavg", {}, fed, _config(seed=16), num_workers=1)
+    opted_out = _OptedOut()
+    history = run_federated(opted_out, fed, tiny_model_fn(fed), config)
+    assert not opted_out.executor.degraded
+    assert_equivalent_runs(serial, (opted_out, history))
 
 
 @pytest.mark.parametrize("name,kwargs", [("fedavg", {}), ("scaffold", {})])

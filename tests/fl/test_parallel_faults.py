@@ -137,7 +137,11 @@ class _PoisonedFedAvg(FedAvg):
         return super()._client_update(round_idx, client_id)
 
 
-def test_worker_crash_degrades_to_serial_with_identical_results(fed):
+@pytest.mark.parametrize("transport", ["wire", "pickle"])
+def test_worker_crash_degrades_to_serial_with_identical_results(fed, transport):
+    """A crash mid-round must degrade gracefully under either transport —
+    the wire engine also has a persistent pool and a shared-memory buffer
+    to tear down on the way out."""
     from repro.fl.trainer import run_federated
 
     config = _config(seed=25)
@@ -147,7 +151,25 @@ def test_worker_crash_degrades_to_serial_with_identical_results(fed):
     crashing = _PoisonedFedAvg()
     with pytest.warns(RuntimeWarning, match="worker pool failed"):
         crashing_hist = run_federated(
-            crashing, fed, tiny_model_fn(fed), config.with_updates(num_workers=4)
+            crashing, fed, tiny_model_fn(fed),
+            config.with_updates(num_workers=4, transport=transport),
         )
     assert crashing.executor.degraded
+    assert crashing.executor._pool is None and crashing.executor._mmap is None
     assert_equivalent_runs((reference, reference_hist), (crashing, crashing_hist))
+
+
+def test_sparse_compression_rides_the_wire_bit_identically(fed):
+    """TopK updates travel as int32 index + value streams on the wire
+    path; the parent-side reconstruction must match serial compress()."""
+    from repro.fl.compression import TopKSparsifier
+
+    config = _config(seed=26)
+
+    def decorate(algorithm):
+        algorithm.with_compressor(TopKSparsifier(0.25))
+
+    serial = run_with_workers("fedavg", {}, fed, config, num_workers=1, decorate=decorate)
+    parallel = run_with_workers("fedavg", {}, fed, config, num_workers=4, decorate=decorate)
+    assert parallel[0].executor.transport == "wire"
+    assert_equivalent_runs(serial, parallel)

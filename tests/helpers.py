@@ -123,6 +123,7 @@ def run_with_workers(
     config,
     num_workers: int,
     executor: str = "auto",
+    transport: str = "wire",
     decorate=None,
 ):
     """Run one federated job with the given worker count.
@@ -134,7 +135,9 @@ def run_with_workers(
     from repro.algorithms import make_algorithm
     from repro.fl.trainer import run_federated
 
-    run_config = config.with_updates(num_workers=num_workers, executor=executor)
+    run_config = config.with_updates(
+        num_workers=num_workers, executor=executor, transport=transport
+    )
     algorithm = make_algorithm(algorithm_name, **algorithm_kwargs)
     if decorate is not None:
         decorate(algorithm)
