@@ -19,6 +19,8 @@ Public API tour:
 
 * :mod:`repro.obs` — zero-dependency observability: span tracing,
   counters/gauges/histograms, JSONL/CSV run artifacts, layer profiler.
+* :mod:`repro.ckpt` — crash-safe checkpoint/resume with bit-identical
+  deterministic replay (see ``docs/checkpointing.md``).
 
 Quickstart::
 
@@ -47,7 +49,14 @@ Anything beyond the named presets composes from the building blocks::
 __version__ = "1.0.0"
 
 from repro import nn  # noqa: F401  (re-export the substrate)
-from repro.exceptions import ConfigError, DataError, ProtocolError, ReproError
+from repro.exceptions import (
+    CheckpointError,
+    CheckpointMismatchError,
+    ConfigError,
+    DataError,
+    ProtocolError,
+    ReproError,
+)
 
 __all__ = [
     "nn",
@@ -55,6 +64,8 @@ __all__ = [
     "ConfigError",
     "DataError",
     "ProtocolError",
+    "CheckpointError",
+    "CheckpointMismatchError",
     "run_experiment",
     "list_presets",
     "__version__",

@@ -156,6 +156,30 @@ class FederatedAlgorithm:
         """
         self.global_params = state["global_params"]
 
+    # -- checkpointing -----------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Algorithm-owned server state for a between-rounds checkpoint.
+
+        The global model itself is captured separately by
+        :mod:`repro.ckpt.state`; this hook covers everything *else* an
+        algorithm accumulates across rounds (control variates, server
+        momentum, delta tables, caches).  The base round is stateless.
+
+        Subclasses with server state must extend this and
+        :meth:`restore_checkpoint_state` symmetrically — values must
+        survive :func:`repro.ckpt.format.pack_tree` (arrays, scalars,
+        strings, bytes, lists, dicts).
+        """
+        return {}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` snapshot.
+
+        Called after :meth:`setup` (arrays allocated, config bound) and
+        before the resumed round runs; implementations copy values in
+        rather than aliasing the decoded buffers.
+        """
+
     # -- per-client helpers --------------------------------------------------------
     def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
         """Deterministic per-(round, client) randomness."""

@@ -41,6 +41,15 @@ class FedAvgM(FederatedAlgorithm):
         super().setup(model, fed, config)
         self._velocity = np.zeros(self.model_size)
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["velocity"] = self._velocity
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        self._velocity = np.array(state["velocity"], copy=True)
+
     def _aggregate(
         self, round_idx: int, selected: np.ndarray, updates: list[np.ndarray]
     ) -> np.ndarray:

@@ -111,6 +111,15 @@ class Moon(FederatedAlgorithm):
         super()._install_worker_state(state)
         self._prev_params = state["prev_params"]
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["prev_params"] = self._prev_params
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        self._prev_params = np.array(state["prev_params"], copy=True)
+
     def _anchor_features(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
         assert self._frozen is not None
         set_flat_params(self._frozen, params)

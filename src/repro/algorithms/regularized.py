@@ -26,7 +26,10 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         delta_cache: memoize raw mean embeddings keyed on (phi
             parameters, client data) content fingerprints, skipping the
             embedding forward pass when neither changed.  Bit-identical
-            to recomputation; disable to benchmark the recompute path.
+            to recomputation; disable (``False``) to benchmark the
+            recompute path, or pass an ``int`` to bound the cache to
+            that many entries with LRU eviction (evictions only force
+            recomputation, never change results).
     """
 
     name = "regularized-base"
@@ -36,7 +39,7 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         lam: float,
         mode: str,
         privacy: GaussianDeltaMechanism | None = None,
-        delta_cache: bool = True,
+        delta_cache: bool | int = True,
     ) -> None:
         super().__init__()
         if lam < 0:
@@ -45,7 +48,12 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         self.regularizer = DistributionRegularizer(lam, mode=mode)
         self.privacy = privacy
         self.delta_table: DeltaTable | None = None
-        self.delta_cache = DeltaCache() if delta_cache else None
+        if delta_cache is True:
+            self.delta_cache = DeltaCache()
+        elif delta_cache is False:
+            self.delta_cache = None
+        else:
+            self.delta_cache = DeltaCache(max_entries=int(delta_cache))
 
     def setup(self, model, fed, config) -> None:
         super().setup(model, fed, config)
@@ -67,6 +75,25 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         assert self.delta_table is not None
         self.delta_table.install_views(state["delta_table"], state["delta_reported"])
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        assert self.delta_table is not None
+        table, reported = self.delta_table.state_arrays()
+        state["delta_table"] = table
+        state["delta_reported"] = reported
+        if self.delta_cache is not None:
+            state["delta_cache"] = self.delta_cache.state_dict()
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        assert self.delta_table is not None
+        table, reported = self.delta_table.state_arrays()
+        np.copyto(table, state["delta_table"])
+        np.copyto(reported, state["delta_reported"])
+        if self.delta_cache is not None and "delta_cache" in state:
+            self.delta_cache.load_state_dict(state["delta_cache"])
+
     def _raw_delta(self, client_id: int) -> np.ndarray:
         """Client k's mean embedding under the current workspace model,
         through the delta cache when enabled."""
@@ -81,12 +108,17 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         data_fp = shard.content_fingerprint()
         delta = self.delta_cache.lookup(client_id, phi_fp, data_fp)
         hit = delta is not None
+        evicted = 0
         if not hit:
             delta = compute_mean_embedding(self.model, shard, self.config.eval_batch)
+            before = self.delta_cache.evictions
             self.delta_cache.store(client_id, phi_fp, data_fp, delta)
+            evicted = self.delta_cache.evictions - before
         if self.tracer.enabled:
             name = "delta_cache.hits" if hit else "delta_cache.misses"
             self.tracer.metrics.counter(name).inc()
+            if evicted:
+                self.tracer.metrics.counter("delta_cache.evictions").inc(evicted)
         return delta
 
     def _client_delta(self, round_idx: int, client_id: int, phase: int = 0) -> np.ndarray:

@@ -34,7 +34,7 @@ class RFedAvg(RegularizedAlgorithm):
         self,
         lam: float = 1e-4,
         privacy: GaussianDeltaMechanism | None = None,
-        delta_cache: bool = True,
+        delta_cache: bool | int = True,
     ) -> None:
         super().__init__(
             lam,

@@ -35,7 +35,7 @@ class RFedAvgPlus(RegularizedAlgorithm):
         self,
         lam: float = 1e-4,
         privacy: GaussianDeltaMechanism | None = None,
-        delta_cache: bool = True,
+        delta_cache: bool | int = True,
     ) -> None:
         super().__init__(
             lam,

@@ -59,6 +59,17 @@ class Scaffold(FederatedAlgorithm):
         self.server_control = state["server_control"]
         self.client_controls = state["client_controls"]
 
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        state["server_control"] = self.server_control
+        state["client_controls"] = self.client_controls
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        self.server_control = np.array(state["server_control"], copy=True)
+        self.client_controls = np.array(state["client_controls"], copy=True)
+
     def _grad_hook(self, round_idx: int, client_id: int):
         assert self.server_control is not None and self.client_controls is not None
         correction = self.server_control - self.client_controls[client_id]

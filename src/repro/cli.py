@@ -86,6 +86,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", default=None, metavar="DIR",
                      help="persist run artifacts (events.jsonl, summary.json, "
                           "rounds.csv) under DIR; implies --trace")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write crash-safe checkpoints under DIR; resumable "
+                          "with --resume, bit-identical to an uninterrupted run")
+    run.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                     help="checkpoint every N completed rounds (default 1; the "
+                          "final round is always checkpointed)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the newest valid checkpoint in "
+                          "--checkpoint-dir (fresh start when none exists)")
 
     preset = sub.add_parser("preset", help="run a named experiment preset")
     preset.add_argument("name", choices=sorted(RUN_PRESETS),
@@ -99,6 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "e.g. --set rounds=10 --set algorithm=fedavg")
     preset.add_argument("--trace", action="store_true")
     preset.add_argument("--trace-out", default=None, metavar="DIR")
+    preset.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write crash-safe checkpoints under DIR")
+    preset.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="checkpoint cadence in rounds")
+    preset.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid checkpoint")
 
     sweep = sub.add_parser("sweep", help="sweep one hyperparameter")
     sweep.add_argument("--dataset", choices=("synth_mnist", "synth_cifar"),
@@ -116,6 +131,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--lr", type=float, default=0.5)
     sweep.add_argument("--scale", type=float, default=1.0)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="checkpoint every sweep cell under DIR (one "
+                            "subdirectory per swept value and repeat)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip finished cells and resume interrupted "
+                            "ones from their checkpoints")
 
     sub.add_parser("list", help="list algorithms and datasets")
     sub.add_parser("experiments", help="list the paper experiment index")
@@ -156,7 +177,7 @@ def _print_round(rec) -> None:
     print(line)
 
 
-def _report_run(history, tracer, trace_out, run_name: str) -> None:
+def _report_run(history, tracer, trace_out, run_name: str, provenance=None) -> None:
     """Shared post-run reporting for `run` and `preset`."""
     print(f"final accuracy: {history.final_accuracy:.4f}")
     print(f"total traffic:  {history.total_bytes():,} bytes")
@@ -166,11 +187,19 @@ def _report_run(history, tracer, trace_out, run_name: str) -> None:
         print()
         print(format_span_summary(tracer))
         if trace_out is not None:
-            out_dir = write_run_artifacts(Path(trace_out) / run_name, history, tracer)
+            out_dir = write_run_artifacts(
+                Path(trace_out) / run_name, history, tracer, provenance=provenance
+            )
             print(f"\nartifacts: {out_dir}")
 
 
+def _check_resume_args(args) -> None:
+    if getattr(args, "resume", False) and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+
+
 def _command_run(args) -> int:
+    _check_resume_args(args)
     fed = _build_federation(args)
     model_name = args.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     config = FLConfig(
@@ -186,6 +215,9 @@ def _command_run(args) -> int:
         executor=args.executor,
         transport=args.transport,
         dtype=args.dtype,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     algorithm = make_algorithm(args.algorithm, **_algorithm_kwargs(args))
     print(
@@ -202,7 +234,10 @@ def _command_run(args) -> int:
         tracer=tracer,
     )
     run_name = f"{args.algorithm}-{args.dataset}-seed{args.seed}"
-    _report_run(history, tracer, args.trace_out, run_name)
+    from repro.ckpt.provenance import run_provenance
+
+    _report_run(history, tracer, args.trace_out, run_name,
+                provenance=run_provenance(config, algorithm.name))
     return 0
 
 
@@ -218,6 +253,7 @@ def _parse_override_value(raw: str):
 
 
 def _command_preset(args) -> int:
+    _check_resume_args(args)
     overrides = {}
     for item in args.overrides:
         key, sep, value = item.partition("=")
@@ -240,6 +276,9 @@ def _command_preset(args) -> int:
         trace=trace,
         artifacts_dir=artifacts_dir,
         workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     print(f"final accuracy: {history.final_accuracy:.4f}")
     print(f"total traffic:  {history.total_bytes():,} bytes")
@@ -264,6 +303,7 @@ def _parse_values(raw: str) -> list:
 
 
 def _command_sweep(args) -> int:
+    _check_resume_args(args)
     from dataclasses import fields
 
     from repro.experiments import build_image_federation
@@ -281,7 +321,8 @@ def _command_sweep(args) -> int:
         return default_model_fn("mlp", fed.spec, seed=seed, scale=args.scale)
 
     config = FLConfig(rounds=args.rounds, local_steps=5, batch_size=32,
-                      lr=args.lr, eval_every=5, seed=args.seed)
+                      lr=args.lr, eval_every=5, seed=args.seed,
+                      checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     config_fields = {f.name for f in fields(FLConfig)}
     if args.knob in config_fields:
         result = sweep_config_field(

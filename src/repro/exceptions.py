@@ -19,3 +19,11 @@ class ProtocolError(ReproError):
 
 class WireError(ReproError):
     """A payload cannot be encoded to / decoded from the packed wire format."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, incomplete, or unreadable."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint was written by an incompatible run configuration."""

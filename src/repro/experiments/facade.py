@@ -176,6 +176,9 @@ def run_experiment(
     artifacts_dir: str | Path | None = None,
     workers: int | None = None,
     transport: str | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -196,6 +199,12 @@ def run_experiment(
         transport: parallel payload transport — 'wire' (packed
             shared-memory, the default) or 'pickle'; shorthand for the
             ``transport`` config override.
+        checkpoint_dir: write crash-safe checkpoints here
+            (:mod:`repro.ckpt`); shorthand for the config override.
+        checkpoint_every: checkpoint cadence in rounds (shorthand).
+        resume: resume from the newest valid checkpoint in
+            ``checkpoint_dir``; the continued run is bit-identical to
+            an uninterrupted one.
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -211,6 +220,12 @@ def run_experiment(
         config_overrides = {**config_overrides, "num_workers": workers}
     if transport is not None:
         config_overrides = {**config_overrides, "transport": transport}
+    if checkpoint_dir is not None:
+        config_overrides = {**config_overrides, "checkpoint_dir": str(checkpoint_dir)}
+    if checkpoint_every is not None:
+        config_overrides = {**config_overrides, "checkpoint_every": checkpoint_every}
+    if resume:
+        config_overrides = {**config_overrides, "resume": True}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)
@@ -230,8 +245,13 @@ def run_experiment(
 
     artifacts_path: Path | None = None
     if trace or artifacts_dir is not None:
+        from repro.ckpt.provenance import run_provenance
+
         out_dir = Path(artifacts_dir) if artifacts_dir is not None else (
             Path("runs") / f"{name}-seed{seed}"
         )
-        artifacts_path = write_run_artifacts(out_dir, history, tracer)
+        artifacts_path = write_run_artifacts(
+            out_dir, history, tracer,
+            provenance=run_provenance(config, algorithm.name),
+        )
     return history, artifacts_path

@@ -85,12 +85,28 @@ def run_experiment(
             artifacts (events.jsonl, summary.json, rounds.csv) under
             ``trace_out/<algorithm>-rep<k>/``.
         **algorithm_kwargs: algorithm hyperparameters (lam, mu, q, ...).
+
+    Checkpointing: when ``config.checkpoint_dir`` is set, every repeat
+    gets its own cell directory ``<checkpoint_dir>/<algorithm>-rep<k>``
+    so repeats never clobber each other's checkpoints.  A finished cell
+    is marked with a ``result.json`` (the repeat's full History); with
+    ``config.resume`` an interrupted grid reloads finished cells from
+    their markers and resumes only the unfinished ones mid-run.
     """
     if config_override:
         config = config.with_updates(**config_override)
     result = RunResult(algorithm=algorithm_name)
     for rep in range(repeats):
         seed = config.seed + 1000 * rep
+        run_config = config.with_updates(seed=seed)
+        done_marker: Path | None = None
+        if config.checkpoint_dir is not None:
+            cell_dir = Path(config.checkpoint_dir) / f"{algorithm_name}-rep{rep}"
+            run_config = run_config.with_updates(checkpoint_dir=str(cell_dir))
+            done_marker = cell_dir / "result.json"
+            if config.resume and done_marker.is_file():
+                result.histories.append(History.from_json(done_marker.read_text()))
+                continue
         fed = fed_builder(seed)
         algorithm = make_algorithm(algorithm_name, **algorithm_kwargs)
         tracer = Tracer() if trace_out is not None else None
@@ -98,14 +114,22 @@ def run_experiment(
             algorithm,
             fed,
             model_fn_builder(fed, seed),
-            config.with_updates(seed=seed),
+            run_config,
             eval_per_client=eval_per_client,
             tracer=tracer,
         )
         result.histories.append(history)
+        if done_marker is not None:
+            done_marker.parent.mkdir(parents=True, exist_ok=True)
+            done_marker.write_text(history.to_json())
         if trace_out is not None:
+            from repro.ckpt.provenance import run_provenance
+
             out_dir = Path(trace_out) / f"{algorithm_name}-rep{rep}"
-            result.artifact_dirs.append(write_run_artifacts(out_dir, history, tracer))
+            result.artifact_dirs.append(write_run_artifacts(
+                out_dir, history, tracer,
+                provenance=run_provenance(run_config, algorithm.name),
+            ))
     return result
 
 

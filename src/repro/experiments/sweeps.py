@@ -20,6 +20,23 @@ from repro.fl.config import FLConfig
 from repro.models.split import SplitModel
 
 
+def _cell_config(config: FLConfig, knob: str, value) -> FLConfig:
+    """Give each swept value its own checkpoint subdirectory.
+
+    Without this every cell of a checkpointed sweep would write into the
+    same directory and ``resume`` could cross-resume between values;
+    with it an interrupted sweep re-runs only its unfinished cells (the
+    per-repeat ``result.json`` markers live inside each cell directory).
+    """
+    if config.checkpoint_dir is None:
+        return config
+    from pathlib import Path
+
+    return config.with_updates(
+        checkpoint_dir=str(Path(config.checkpoint_dir) / f"{knob}-{value}")
+    )
+
+
 @dataclass
 class SweepResult:
     """Accuracy (mean over repeats) per swept value."""
@@ -58,7 +75,8 @@ def sweep_algorithm_param(
         kwargs = dict(fixed_kwargs)
         kwargs[knob] = value
         run = run_experiment(
-            algorithm, fed_builder, model_fn_builder, config, repeats=repeats, **kwargs
+            algorithm, fed_builder, model_fn_builder,
+            _cell_config(config, knob, value), repeats=repeats, **kwargs
         )
         result.values.append(value)
         result.accuracies.append(run.accuracy_mean_std()[0])
@@ -82,7 +100,7 @@ def sweep_config_field(
             algorithm,
             fed_builder,
             model_fn_builder,
-            config.with_updates(**{knob: value}),
+            _cell_config(config.with_updates(**{knob: value}), knob, value),
             repeats=repeats,
             **algorithm_kwargs,
         )
@@ -110,7 +128,8 @@ def sweep_federation(
     for value in values:
         fed_builder = fed_builder_factory(**{knob: value})
         run = run_experiment(
-            algorithm, fed_builder, model_fn_builder, config,
+            algorithm, fed_builder, model_fn_builder,
+            _cell_config(config, knob, value),
             repeats=repeats, **algorithm_kwargs,
         )
         result.values.append(value)

@@ -108,6 +108,33 @@ class CommLedger:
         self._round_totals.append(totals)
         return totals
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume this ledger bit-identically."""
+        return {
+            "dtype_bytes": self.dtype_bytes,
+            "round_totals": [dict(r) for r in self._round_totals],
+            "counters": {key: c.value for key, c in self._counters.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Counter values are *set*, not incremented, so restoring into a
+        registry shared with a tracer (whose own counters were restored
+        separately) cannot double-count.
+        """
+        if int(state["dtype_bytes"]) != self.dtype_bytes:
+            raise ValueError(
+                f"ledger dtype_bytes mismatch: checkpoint has "
+                f"{state['dtype_bytes']}, this run uses {self.dtype_bytes}"
+            )
+        self._round_totals = [dict(r) for r in state["round_totals"]]
+        for key, value in state["counters"].items():
+            counter = self._counter(key)
+            counter.value = value
+            self._round_start[key] = counter.value
+
     @property
     def rounds(self) -> int:
         return len(self._round_totals)

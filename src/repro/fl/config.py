@@ -48,6 +48,20 @@ class FLConfig:
             'float32' (~2x faster kernels, half-size payloads; results
             agree to float32 precision but are not bit-identical to
             float64 runs).
+        checkpoint_dir: directory for crash-safe run checkpoints
+            (:mod:`repro.ckpt`).  ``None`` (default) disables
+            checkpointing entirely.
+        checkpoint_every: write a checkpoint every this many completed
+            rounds (the final round is always checkpointed).  Cadence
+            is an execution knob: changing it never invalidates
+            existing checkpoints.
+        checkpoint_keep: retain the newest this-many checkpoint files;
+            older ones are pruned after each successful write.
+        resume: resume from the newest valid checkpoint in
+            ``checkpoint_dir`` if one exists (fresh start otherwise).
+            A resumed run is bit-identical to an uninterrupted one;
+            resuming under a mismatched config raises
+            :class:`~repro.exceptions.CheckpointMismatchError`.
     """
 
     rounds: int = 30
@@ -65,6 +79,10 @@ class FLConfig:
     executor: str = "auto"
     transport: str = "wire"
     dtype: str = "float64"
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    checkpoint_keep: int = 3
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Imported here: repro.fl.parallel depends on repro.exceptions only,
@@ -97,6 +115,12 @@ class FLConfig:
             )
         if self.wire_dtype_bytes is not None and self.wire_dtype_bytes <= 0:
             raise ConfigError("wire_dtype_bytes must be positive (or None)")
+        if self.checkpoint_every <= 0:
+            raise ConfigError("checkpoint_every must be positive")
+        if self.checkpoint_keep <= 0:
+            raise ConfigError("checkpoint_keep must be positive")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigError("resume=True requires checkpoint_dir")
 
     def wire_bytes_per_scalar(self) -> int:
         """Resolved per-scalar wire width: the explicit override, or the

@@ -51,6 +51,20 @@ class FaultModel:
         self.dropped_total = 0
         self.corrupted_total = 0
 
+    def state_dict(self) -> dict:
+        """Round-coupled fault state: the dropout RNG and the counters."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "dropped_total": self.dropped_total,
+            "corrupted_total": self.corrupted_total,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Resume fault decisions exactly where a checkpoint left them."""
+        self._rng.bit_generator.state = state["rng"]
+        self.dropped_total = int(state["dropped_total"])
+        self.corrupted_total = int(state["corrupted_total"])
+
     def surviving_clients(self, selected: np.ndarray) -> np.ndarray:
         """Apply dropout to this round's selection (>= 1 survivor)."""
         if self.dropout_prob == 0.0:

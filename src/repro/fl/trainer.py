@@ -134,7 +134,37 @@ def _run_federated(
         return loss
 
     history = History(algorithm=algorithm.name)
-    for round_idx in range(config.rounds):
+
+    # Crash-safe checkpointing (repro.ckpt).  The manager owns the
+    # directory; a resume restores the newest valid checkpoint into the
+    # freshly set-up objects above and re-enters the loop at the next
+    # round.  Every per-(round, client, phase) stream is derived from
+    # the master seed, so restoring the round RNG + server state + the
+    # ledger/history cut makes the continuation bit-identical to an
+    # uninterrupted run.
+    manager = None
+    start_round = 0
+    if config.checkpoint_dir is not None:
+        from repro.ckpt.manager import CheckpointManager
+        from repro.ckpt.state import capture_run_state, restore_run_state
+
+        manager = CheckpointManager(config.checkpoint_dir, keep=config.checkpoint_keep)
+        if config.resume:
+            loaded = manager.load_latest_valid()
+            if loaded is not None:
+                manifest, sections = loaded
+                last_round = restore_run_state(
+                    manifest,
+                    sections,
+                    algorithm=algorithm,
+                    round_rng=round_rng,
+                    history=history,
+                    config=config,
+                    tracer=tracer,
+                )
+                start_round = last_round + 1
+
+    for round_idx in range(start_round, config.rounds):
         with tracer.span("round", round=round_idx):
             with tracer.span("sample"):
                 if selector is None:
@@ -182,6 +212,22 @@ def _run_federated(
             history.append(record)
             for callback in round_callbacks:
                 callback(record)
+            if manager is not None and (
+                (round_idx + 1) % config.checkpoint_every == 0
+                or round_idx == config.rounds - 1
+            ):
+                # After history/ledger bookkeeping: the snapshot is a
+                # consistent between-rounds cut of the whole run.
+                with tracer.span("checkpoint"):
+                    meta, sections = capture_run_state(
+                        round_idx=round_idx,
+                        algorithm=algorithm,
+                        round_rng=round_rng,
+                        history=history,
+                        config=config,
+                        tracer=tracer,
+                    )
+                    manager.save(round_idx, meta, sections)
 
     history.final_accuracy = history.last_accuracy()
     if eval_per_client:

@@ -56,6 +56,8 @@ from repro.nn.serialization import (
     num_params,
     save_params,
     load_params,
+    save_state,
+    load_state,
 )
 from repro.nn import functional
 
@@ -101,5 +103,7 @@ __all__ = [
     "num_params",
     "save_params",
     "load_params",
+    "save_state",
+    "load_state",
     "functional",
 ]

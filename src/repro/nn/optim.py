@@ -69,7 +69,14 @@ class Optimizer:
     ``max_grad_norm`` optionally applies global-norm gradient clipping
     before every update (the standard stabilizer for recurrent models
     and for SCAFFOLD-style corrected gradients).
+
+    Subclasses declare their per-parameter slot buffers in ``_slots``
+    (attribute names holding one array per parameter), which makes
+    :meth:`state_dict` / :meth:`load_state_dict` work for every
+    optimizer here without per-class serialization code.
     """
+
+    _slots: tuple[str, ...] = ()
 
     def __init__(
         self,
@@ -112,9 +119,59 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Step counter plus every per-parameter slot buffer (copies)."""
+        return {
+            "step_count": self.step_count,
+            "slots": {
+                name.lstrip("_"): [np.array(a, copy=True) for a in getattr(self, name)]
+                for name in self._slots
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this optimizer.
+
+        The optimizer must wrap the same parameter list the snapshot was
+        taken from — slot names, counts, and per-slot shapes are all
+        checked, and values are copied into the existing buffers.
+        """
+        expected = {name.lstrip("_") for name in self._slots}
+        stored = set(state.get("slots", {}))
+        if stored != expected:
+            raise ValueError(
+                f"optimizer slot mismatch: snapshot has {sorted(stored)}, "
+                f"{type(self).__name__} expects {sorted(expected)}"
+            )
+        # Validate fully before mutating, so a bad snapshot cannot leave
+        # the optimizer half-loaded.
+        checked: list[tuple[list[np.ndarray], list[np.ndarray]]] = []
+        for name in self._slots:
+            buffers = getattr(self, name)
+            arrays = [np.asarray(a) for a in state["slots"][name.lstrip("_")]]
+            if len(arrays) != len(buffers):
+                raise ValueError(
+                    f"slot {name.lstrip('_')!r} has {len(arrays)} arrays, "
+                    f"optimizer has {len(buffers)} parameters"
+                )
+            for i, (buf, arr) in enumerate(zip(buffers, arrays)):
+                if arr.shape != buf.shape:
+                    raise ValueError(
+                        f"slot {name.lstrip('_')!r}[{i}] shape mismatch: "
+                        f"{arr.shape} vs {buf.shape}"
+                    )
+            checked.append((buffers, arrays))
+        for buffers, arrays in checked:
+            for buf, arr in zip(buffers, arrays):
+                buf[...] = arr
+        self.step_count = int(state["step_count"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
+
+    _slots = ("_velocity",)
 
     def __init__(
         self,
@@ -144,6 +201,8 @@ class SGD(Optimizer):
 class RMSProp(Optimizer):
     """RMSProp as used for the paper's Sent140 LSTM (lr=0.01)."""
 
+    _slots = ("_sq_avg",)
+
     def __init__(
         self,
         params: list[Parameter],
@@ -165,6 +224,8 @@ class RMSProp(Optimizer):
 
 
 class Adam(Optimizer):
+    _slots = ("_m", "_v")
+
     def __init__(
         self,
         params: list[Parameter],

@@ -62,9 +62,17 @@ def read_jsonl(path: str | Path) -> list[dict]:
         return [json.loads(line) for line in handle if line.strip()]
 
 
-def summary_dict(history, tracer=None) -> dict:
-    """History dict + a ``trace`` section (span aggregates, metrics)."""
+def summary_dict(history, tracer=None, provenance=None) -> dict:
+    """History dict + a ``trace`` section (span aggregates, metrics).
+
+    ``provenance`` (see :func:`repro.ckpt.provenance.run_provenance`)
+    is stamped under its own key when given, so an artifact directory
+    records which library version / config hash / dtype / execution
+    engine produced it.
+    """
     out = history.to_dict()
+    if provenance is not None:
+        out["provenance"] = dict(provenance)
     if tracer is not None and tracer.enabled:
         out["trace"] = {
             "spans": tracer.span_summary(),
@@ -73,16 +81,17 @@ def summary_dict(history, tracer=None) -> dict:
     return out
 
 
-def write_run_artifacts(out_dir: str | Path, history, tracer=None) -> Path:
+def write_run_artifacts(out_dir: str | Path, history, tracer=None, provenance=None) -> Path:
     """Persist one run's artifacts under ``out_dir`` (created if needed).
 
     Returns the artifact directory.  Without a tracer only the history
-    artifacts (``summary.json``, ``rounds.csv``) are written.
+    artifacts (``summary.json``, ``rounds.csv``) are written; a given
+    ``provenance`` dict is stamped into ``summary.json``.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     with open(out_dir / "summary.json", "w") as handle:
-        json.dump(summary_dict(history, tracer), handle, indent=2)
+        json.dump(summary_dict(history, tracer, provenance), handle, indent=2)
     history.save_csv(str(out_dir / "rounds.csv"))
     if tracer is not None and tracer.enabled:
         write_jsonl(out_dir / "events.jsonl", tracer)

@@ -136,6 +136,40 @@ class MetricsRegistry:
             "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
         }
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Lossless dump (unlike :meth:`snapshot`, histograms keep their
+        raw accumulators so a restore continues the stream exactly)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: [h.count, h.total, h.total_sq, h.min, h.max]
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (values are set, not
+        merged — restoring twice is idempotent).
+
+        Metric instances are keyed by their canonical rendered key, so
+        labelled metrics restore without re-deriving name/label pairs.
+        """
+        with self._lock:
+            for key, value in state.get("counters", {}).items():
+                counter = self.counters.setdefault(key, Counter(key))
+                counter.value = value
+            for key, value in state.get("gauges", {}).items():
+                gauge = self.gauges.setdefault(key, Gauge(key))
+                gauge.value = value
+            for key, packed in state.get("histograms", {}).items():
+                hist = self.histograms.setdefault(key, Histogram(key))
+                hist.count, hist.total, hist.total_sq, hist.min, hist.max = (
+                    int(packed[0]), float(packed[1]), float(packed[2]),
+                    float(packed[3]), float(packed[4]),
+                )
+
 
 class _NullMetric:
     """Accepts every update and keeps nothing."""

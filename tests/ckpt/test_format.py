@@ -1,0 +1,177 @@
+"""RCK1 container tests: tree codec round-trips and corruption detection.
+
+The format's contract is binary: a checkpoint either reads back exactly
+what was written (arrays dtype-true, big ints intact, tuples typed) or
+raises :class:`~repro.exceptions.CheckpointError` — never a silently
+wrong value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.format import (
+    MAGIC,
+    pack_tree,
+    read_checkpoint,
+    read_manifest,
+    unpack_tree,
+    write_checkpoint,
+)
+from repro.exceptions import CheckpointError
+
+
+# -- tree codec --------------------------------------------------------------------
+
+
+def test_tree_round_trips_arrays_dtype_true():
+    tree = {
+        "f64": np.linspace(0, 1, 7),
+        "f32": np.ones(3, dtype=np.float32),
+        "i64": np.arange(4),
+        "i32": np.arange(4, dtype=np.int32),
+        "bool": np.array([True, False, True]),
+        "u8": np.arange(5, dtype=np.uint8),
+        "mat": np.arange(6.0).reshape(2, 3),
+    }
+    out = unpack_tree(pack_tree(tree))
+    for key, value in tree.items():
+        np.testing.assert_array_equal(out[key], value)
+        assert out[key].dtype == value.dtype, key
+
+
+def test_tree_arrays_come_back_writable():
+    out = unpack_tree(pack_tree({"a": np.zeros(3)}))
+    out["a"][0] = 1.0  # restore paths write into decoded arrays
+
+
+def test_tree_round_trips_scalars_bytes_tuples_and_big_ints():
+    tree = {
+        "none": None,
+        "str": "hello",
+        "int": -7,
+        "float": 2.5,
+        "bool": True,
+        "bytes": b"\x00\xff\x7f",
+        "tuple": (1, "two", (3.0, None)),
+        # PCG64 bit-generator state carries 128-bit integers.
+        "big": 2**127 + 12345,
+        "inf": float("inf"),
+        "list": [1, [2, [3]]],
+        "np_scalar": np.int64(42),
+    }
+    out = unpack_tree(pack_tree(tree))
+    assert out["none"] is None
+    assert out["str"] == "hello"
+    assert out["int"] == -7 and out["float"] == 2.5 and out["bool"] is True
+    assert out["bytes"] == b"\x00\xff\x7f"
+    assert out["tuple"] == (1, "two", (3.0, None))
+    assert isinstance(out["tuple"], tuple) and isinstance(out["tuple"][2], tuple)
+    assert out["big"] == 2**127 + 12345
+    assert out["inf"] == float("inf")
+    assert out["list"] == [1, [2, [3]]]
+    assert out["np_scalar"] == 42
+
+
+def test_tree_round_trips_rng_state():
+    gen = np.random.default_rng([3, 0xF1])
+    gen.random(100)
+    state = gen.bit_generator.state
+    restored = unpack_tree(pack_tree({"rng": state}))["rng"]
+    other = np.random.default_rng(0)
+    other.bit_generator.state = restored
+    np.testing.assert_array_equal(gen.random(16), other.random(16))
+
+
+def test_tree_rejects_reserved_keys_and_unknown_types():
+    with pytest.raises(CheckpointError):
+        pack_tree({"__nd__": 1})
+    with pytest.raises(CheckpointError):
+        pack_tree({"bad": object()})
+    with pytest.raises(CheckpointError):
+        pack_tree({1: "non-string key"})  # type: ignore[dict-item]
+
+
+# -- file container ----------------------------------------------------------------
+
+
+def _write(tmp_path, meta=None, sections=None):
+    path = tmp_path / "ckpt-00000001.rck"
+    write_checkpoint(
+        path,
+        meta if meta is not None else {"round_idx": 1},
+        sections
+        if sections is not None
+        else {
+            "model": pack_tree({"params": np.arange(5.0)}),
+            "rng": pack_tree({"state": 123}),
+        },
+    )
+    return path
+
+
+def test_write_read_round_trip(tmp_path):
+    path = _write(tmp_path)
+    manifest, sections = read_checkpoint(path)
+    assert manifest["meta"]["round_idx"] == 1
+    assert set(sections) == {"model", "rng"}
+    np.testing.assert_array_equal(
+        unpack_tree(sections["model"])["params"], np.arange(5.0)
+    )
+    assert read_manifest(path)["meta"] == manifest["meta"]
+
+
+def test_write_leaves_no_temporaries(tmp_path):
+    _write(tmp_path)
+    assert [p.name for p in tmp_path.iterdir()] == ["ckpt-00000001.rck"]
+
+
+@pytest.mark.parametrize("offset_from_end", [1, 40])
+def test_section_bit_flip_is_detected(tmp_path, offset_from_end):
+    path = _write(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[-offset_from_end] ^= 0x40
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError, match="hash mismatch"):
+        read_checkpoint(path)
+
+
+def test_manifest_bit_flip_is_detected(tmp_path):
+    path = _write(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[30] ^= 0x01  # inside the JSON manifest
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError, match="manifest"):
+        read_checkpoint(path)
+
+
+def test_truncation_is_detected(tmp_path):
+    path = _write(tmp_path)
+    data = path.read_bytes()
+    for cut in (3, 20, len(data) - 5):
+        path.write_bytes(data[:cut])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+def test_bad_magic_is_detected(tmp_path):
+    path = _write(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[: len(MAGIC)] = b"NOPE\n"
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointError, match="magic"):
+        read_checkpoint(path)
+
+
+def test_missing_file_raises_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        read_checkpoint(tmp_path / "nope.rck")
+
+
+def test_overwrite_is_atomic_under_same_name(tmp_path):
+    path = _write(tmp_path)
+    write_checkpoint(path, {"round_idx": 2}, {"s": pack_tree({"v": 9})})
+    manifest, sections = read_checkpoint(path)
+    assert manifest["meta"]["round_idx"] == 2
+    assert unpack_tree(sections["s"])["v"] == 9

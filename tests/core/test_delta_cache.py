@@ -60,6 +60,66 @@ def test_clear_drops_entries():
     assert cache.lookup(0, b"p", b"d") is None
 
 
+# -- LRU bound --------------------------------------------------------------------
+
+
+def test_max_entries_must_be_positive():
+    from repro.exceptions import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        DeltaCache(max_entries=0)
+
+
+def test_bounded_cache_evicts_least_recently_used():
+    cache = DeltaCache(max_entries=2)
+    cache.store(0, b"p", b"d", np.zeros(1))
+    cache.store(1, b"p", b"d", np.zeros(1))
+    cache.store(2, b"p", b"d", np.zeros(1))  # evicts client 0
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.lookup(0, b"p", b"d") is None
+    assert cache.lookup(1, b"p", b"d") is not None
+    assert cache.lookup(2, b"p", b"d") is not None
+
+
+def test_lookup_refreshes_recency():
+    cache = DeltaCache(max_entries=2)
+    cache.store(0, b"p", b"d", np.zeros(1))
+    cache.store(1, b"p", b"d", np.zeros(1))
+    assert cache.lookup(0, b"p", b"d") is not None  # 0 is now most recent
+    cache.store(2, b"p", b"d", np.zeros(1))  # so 1 is the victim
+    assert cache.lookup(1, b"p", b"d") is None
+    assert cache.lookup(0, b"p", b"d") is not None
+
+
+def test_rekeying_an_existing_client_does_not_evict():
+    cache = DeltaCache(max_entries=2)
+    cache.store(0, b"p", b"d", np.zeros(1))
+    cache.store(1, b"p", b"d", np.zeros(1))
+    cache.store(0, b"p2", b"d", np.ones(1))  # re-key, not a new entry
+    assert cache.evictions == 0
+    assert len(cache) == 2
+
+
+def test_state_dict_round_trips_entries_and_recency_order():
+    cache = DeltaCache(max_entries=2)
+    cache.store(0, b"p", b"d", np.arange(2.0))
+    cache.store(1, b"p", b"d", np.arange(2.0) + 1)
+    cache.lookup(0, b"p", b"d")  # 0 most recent, 1 is the LRU victim
+
+    other = DeltaCache(max_entries=2)
+    other.load_state_dict(cache.state_dict())
+    assert (other.hits, other.misses, other.evictions) == (
+        cache.hits, cache.misses, cache.evictions,
+    )
+    # Recency order survived: the next store must evict client 1 (the
+    # LRU after the refresh above), exactly as the original would.
+    other.store(2, b"p", b"d", np.zeros(2))
+    assert other.lookup(1, b"p", b"d") is None
+    np.testing.assert_array_equal(other.lookup(0, b"p", b"d"), np.arange(2.0))
+    np.testing.assert_array_equal(other.lookup(2, b"p", b"d"), np.zeros(2))
+
+
 # -- fingerprints -----------------------------------------------------------------
 
 
@@ -158,3 +218,32 @@ def test_cached_parallel_wire_run_is_bit_identical(fed):
     parallel = run_with_workers("rfedavg+", {"lam": 1e-3}, fed, _config(), num_workers=4)
     assert parallel[0].executor.transport == "wire"
     assert_equivalent_runs(serial, parallel)
+
+
+def test_bounded_cache_run_is_bit_identical_and_evicts(fed):
+    """A tiny LRU bound forces evictions mid-run without changing one bit."""
+    kwargs = {"lam": 1e-3}
+    unbounded = run_with_workers(
+        "rfedavg+", {**kwargs, "delta_cache": True}, fed, _config(), num_workers=1
+    )
+    bounded = run_with_workers(
+        "rfedavg+", {**kwargs, "delta_cache": 2}, fed, _config(), num_workers=1
+    )
+    assert bounded[0].delta_cache.max_entries == 2
+    assert bounded[0].delta_cache.evictions > 0
+    assert unbounded[0].delta_cache.evictions == 0
+    assert_equivalent_runs(unbounded, bounded)
+
+
+def test_evictions_are_reported_to_obs(fed):
+    from repro.algorithms import make_algorithm
+    from repro.fl.trainer import run_federated
+    from repro.obs.trace import Tracer
+    from tests.helpers import tiny_model_fn
+
+    tracer = Tracer()
+    alg = make_algorithm("rfedavg+", lam=1e-3, delta_cache=2)
+    run_federated(alg, fed, tiny_model_fn(fed), _config(), tracer=tracer)
+    assert alg.delta_cache.evictions > 0
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["delta_cache.evictions"] == alg.delta_cache.evictions

@@ -102,3 +102,34 @@ def test_top_level_lazy_exports():
     assert callable(repro.list_presets)
     with pytest.raises(AttributeError):
         repro.does_not_exist
+
+
+def test_run_experiment_checkpoints_and_resumes(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    baseline, _ = repro.run_experiment(
+        "quickstart", seed=3, overrides=TINY, checkpoint_dir=ckpt
+    )
+    assert list(ckpt.glob("ckpt-*.rck"))
+    # Lose the newest checkpoint (as a crash between rounds would) and
+    # resume: the replayed round must reproduce the baseline exactly.
+    (ckpt / "ckpt-00000001.rck").unlink()
+    resumed, _ = repro.run_experiment(
+        "quickstart", seed=3, overrides=TINY, checkpoint_dir=ckpt, resume=True
+    )
+    assert resumed.train_losses().tolist() == baseline.train_losses().tolist()
+    assert resumed.final_accuracy == baseline.final_accuracy
+    assert [r.bytes_up for r in resumed.records] == [
+        r.bytes_up for r in baseline.records
+    ]
+
+
+def test_run_experiment_artifacts_carry_provenance(tmp_path):
+    import json
+
+    out = tmp_path / "artifacts"
+    repro.run_experiment(
+        "quickstart", seed=1, overrides=TINY, trace=True, artifacts_dir=out
+    )
+    prov = json.loads((out / "summary.json").read_text())["provenance"]
+    assert prov["seed"] == 1
+    assert {"repro_version", "config_hash", "algorithm", "dtype"} <= set(prov)

@@ -88,3 +88,75 @@ def test_rounds_to_reach_median():
     # Median of [1, 2] is 1.5, truncated to an integer round index.
     assert result.rounds_to_reach(0.5) == 1
     assert result.rounds_to_reach(0.99) is None
+
+
+# -- checkpointed grids -----------------------------------------------------------
+
+
+def test_checkpointed_repeats_get_isolated_cell_directories(tmp_path):
+    config = _config().with_updates(checkpoint_dir=str(tmp_path))
+    run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+    for rep in range(2):
+        cell = tmp_path / f"fedavg-rep{rep}"
+        assert (cell / "result.json").is_file()
+        assert list(cell.glob("ckpt-*.rck"))
+
+
+def test_grid_resume_skips_finished_cells(tmp_path, monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    config = _config().with_updates(checkpoint_dir=str(tmp_path))
+    first = run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+
+    calls = []
+    real_run = runner_mod.run_federated
+
+    def counting_run(*args, **kwargs):
+        calls.append(args)
+        return real_run(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_federated", counting_run)
+    again = run_experiment(
+        "fedavg", _fed_builder, _model_fn_builder,
+        config.with_updates(resume=True), repeats=2,
+    )
+    assert calls == []  # every cell came from its result.json marker
+    for h_first, h_again in zip(first.histories, again.histories):
+        np.testing.assert_array_equal(h_first.train_losses(), h_again.train_losses())
+
+
+def test_grid_resume_reruns_only_unfinished_cells(tmp_path, monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    baseline = run_experiment(
+        "fedavg", _fed_builder, _model_fn_builder, _config(), repeats=2
+    )
+    config = _config().with_updates(checkpoint_dir=str(tmp_path), checkpoint_keep=50)
+    run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+
+    # Simulate a crash midway through repeat 1: its marker and newest
+    # checkpoints are gone, only rounds 0..1 survive.
+    crashed = tmp_path / "fedavg-rep1"
+    (crashed / "result.json").unlink()
+    (crashed / "ckpt-00000002.rck").unlink()
+
+    calls = []
+    real_run = runner_mod.run_federated
+
+    def counting_run(*args, **kwargs):
+        calls.append(args)
+        return real_run(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_federated", counting_run)
+    resumed = run_experiment(
+        "fedavg", _fed_builder, _model_fn_builder,
+        config.with_updates(resume=True), repeats=2,
+    )
+    assert len(calls) == 1  # only the crashed cell re-entered the trainer
+    for h_base, h_res in zip(baseline.histories, resumed.histories):
+        np.testing.assert_array_equal(h_base.train_losses(), h_res.train_losses())
+        np.testing.assert_array_equal(
+            [r.test_accuracy for r in h_base.records],
+            [r.test_accuracy for r in h_res.records],
+        )
+    assert (crashed / "result.json").is_file()  # marker rewritten on completion

@@ -81,3 +81,24 @@ def test_sweeps_are_deterministic():
         "fedavg", "batch_size", [8], _fed_builder, _model_fn_builder, _config()
     )
     assert a.accuracies == b.accuracies
+
+
+def test_checkpointed_sweep_isolates_cells_and_resumes(tmp_path):
+    """Each swept value checkpoints into its own subdirectory, and an
+    interrupted sweep re-runs only its unfinished cells."""
+    config = _config().with_updates(checkpoint_dir=str(tmp_path))
+    first = sweep_config_field(
+        "fedavg", "local_steps", [1, 2], _fed_builder, _model_fn_builder, config
+    )
+    for value in (1, 2):
+        marker = tmp_path / f"local_steps-{value}" / "fedavg-rep0" / "result.json"
+        assert marker.is_file()
+
+    # Drop one cell's marker: only that value should retrain on resume.
+    (tmp_path / "local_steps-2" / "fedavg-rep0" / "result.json").unlink()
+    resumed = sweep_config_field(
+        "fedavg", "local_steps", [1, 2], _fed_builder, _model_fn_builder,
+        config.with_updates(resume=True),
+    )
+    assert resumed.values == first.values
+    assert resumed.accuracies == first.accuracies
