@@ -11,7 +11,7 @@
 import numpy as np
 
 from benchmarks.common import banner, image_fed_builder, model_builder, report
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_grid
 from repro.fl.config import FLConfig
 
 
@@ -23,7 +23,7 @@ def _config(**overrides):
 
 
 def _accuracy(algorithm, fed_builder, config, repeats=1, **kwargs):
-    result = run_experiment(
+    result = run_grid(
         algorithm, fed_builder, model_builder("mlp"), config, repeats=repeats, **kwargs
     )
     return result.accuracy_mean_std()[0]

@@ -1,17 +1,26 @@
 """Asynchronous federated learning with heterogeneous client speeds.
 
-Contrasts the paper's synchronous rounds with FedAsync-style staleness-
-weighted server updates when client speeds vary by an order of
-magnitude.  With a staleness discount the stragglers' stale updates are
-damped; without one they drag the model around.
+Runs the paper's algorithms through the event-driven async engine
+(``FLConfig(execution="async")``): every round's cohort is dispatched,
+updates arrive on a simulated clock drawn from a per-client runtime
+model, and the server aggregates as soon as ``buffer_size`` updates are
+in hand — stale arrivals discounted by ``(1 + staleness)^-a``.  With
+the discount the stragglers' stale updates are damped; without one
+they drag the model around.
+
+The standalone FedAsync reference sim (``repro.fl.async_sim``) still
+exists for the pure one-update-per-arrival protocol; this example uses
+the first-class engine so the buffered run composes with algorithms,
+checkpointing and tracing.
 
     python examples/async_federation.py
 """
 
-import numpy as np
-
+from repro.algorithms import make_algorithm
 from repro.experiments import build_image_federation, default_model_fn
-from repro.fl.async_sim import AsyncConfig, run_async_federated
+from repro.fl.config import FLConfig
+from repro.fl.runtime import GaussianRuntime
+from repro.fl.trainer import run_federated
 
 
 def main() -> None:
@@ -19,23 +28,29 @@ def main() -> None:
         "synth_mnist", num_clients=8, similarity=0.0, num_train=1600, num_test=400
     )
     model_fn = default_model_fn("mlp", fed.spec, scale=1.0)
-    # Two fast clients, six slow ones (5-15x slower).
-    rng = np.random.default_rng(0)
-    speeds = np.concatenate([[1.0, 1.2], rng.uniform(5.0, 15.0, size=6)])
-    print("client round times:", np.round(speeds, 1).tolist())
+    # Log-normal speed heterogeneity: a het=1.5 fleet spans roughly an
+    # order of magnitude between its fastest and slowest clients.
+    runtime = GaussianRuntime(fed.num_clients, std=0.1, heterogeneity=1.5, seed=0)
+    print("client round times:", [round(t, 1) for t in runtime.base_times])
 
     for exponent in [0.0, 1.0]:
-        config = AsyncConfig(
-            max_updates=120, local_steps=5, batch_size=32, lr=0.3,
-            alpha=0.6, staleness_exponent=exponent, eval_every=20,
+        config = FLConfig(
+            rounds=15, local_steps=5, batch_size=32, lr=0.3, eval_every=5,
+            execution="async", buffer_size=4, staleness_exponent=exponent,
         )
-        history = run_async_federated(fed, model_fn, speeds, config)
-        counts = history.client_update_counts(fed.num_clients)
+        history = run_federated(
+            make_algorithm("rfedavg+", lam=1e-3), fed, model_fn, config,
+            runtime=runtime,
+        )
+        async_history = history.async_history
+        counts = async_history.client_update_counts(fed.num_clients)
         print(f"\n=== staleness exponent {exponent} ===")
-        print(f"updates per client: {counts.tolist()}")
-        print(f"max staleness seen: {int(history.staleness_values().max())}")
-        for update_idx, accuracy in history.accuracies():
-            print(f"  update {int(update_idx):4d}  test accuracy {accuracy:.4f}")
+        print(f"applied updates per client: {counts.tolist()}")
+        print(f"max staleness seen: {async_history.max_staleness()}")
+        print(f"mean staleness:     {async_history.mean_staleness():.2f}")
+        print(f"left in flight:     {async_history.discarded_updates}")
+        for round_idx, accuracy in history.accuracies():
+            print(f"  round {int(round_idx):3d}  test accuracy {accuracy:.4f}")
 
 
 if __name__ == "__main__":

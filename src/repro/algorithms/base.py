@@ -401,10 +401,21 @@ class FederatedAlgorithm:
             reg_loss=float(np.dot(weights, [u.reg_loss for u in updates])),
         )
 
+    def _pre_round(self, round_idx: int, selected: np.ndarray) -> None:
+        """Hook before the broadcast/fault phase of a round.
+
+        Algorithms with an extra synchronization phase (e.g. the exact
+        rFedAvg reference refreshing every delta from the current
+        global model) override this instead of :meth:`run_round`, so
+        both execution engines — the synchronous barrier loop and the
+        event-driven async engine — run it at dispatch time.
+        """
+
     def run_round(self, round_idx: int, selected: np.ndarray) -> RoundStats:
         """Execute one communication round over ``selected`` clients."""
         self._require_setup()
         tracer = self.tracer
+        self._pre_round(round_idx, selected)
         if self.fault_model is not None:
             selected = self.fault_model.surviving_clients(selected)
         with tracer.span("broadcast"):

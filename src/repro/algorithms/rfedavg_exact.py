@@ -39,8 +39,7 @@ class RFedAvgExact(RFedAvgPlus):
     ) -> None:
         super().__init__(lam, privacy=privacy, delta_cache=delta_cache)
 
-    def run_round(self, round_idx: int, selected: np.ndarray):
-        self._require_setup()
+    def _pre_round(self, round_idx: int, selected: np.ndarray) -> None:
         assert (
             self.fed is not None
             and self.ledger is not None
@@ -62,4 +61,3 @@ class RFedAvgExact(RFedAvgPlus):
             self.model.feature_dim,
             copies=self.config.local_steps * num_clients * (num_clients - 1),
         )
-        return super().run_round(round_idx, selected)

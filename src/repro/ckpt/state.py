@@ -36,6 +36,7 @@ SECTION_LEDGER = "ledger"
 SECTION_HISTORY = "history"
 SECTION_METRICS = "metrics"
 SECTION_FAULTS = "faults"
+SECTION_ASYNC = "async"
 
 
 def rng_state(generator: np.random.Generator) -> dict:
@@ -55,12 +56,18 @@ def capture_run_state(
     history: History,
     config,
     tracer=None,
+    extra_sections: dict[str, dict] | None = None,
 ) -> tuple[dict, dict[str, bytes]]:
     """Snapshot everything a resume needs, as ``(meta, sections)``.
 
     Called at the end of round ``round_idx`` — after the history record
     was appended and the ledger's round was closed, so the snapshot is a
     consistent between-rounds cut of the run.
+
+    ``extra_sections`` maps section names to pack_tree-able dicts an
+    execution engine wants carried alongside the core state (the async
+    engine's event queue and sim clock ride in ``SECTION_ASYNC``); the
+    engine that wrote them unpacks them itself on resume.
     """
     assert algorithm.ledger is not None
     meta = {
@@ -79,6 +86,10 @@ def capture_run_state(
         sections[SECTION_FAULTS] = pack_tree(algorithm.fault_model.state_dict())
     if tracer is not None and tracer.enabled:
         sections[SECTION_METRICS] = pack_tree(tracer.metrics.state_dict())
+    for name, tree in (extra_sections or {}).items():
+        if name in sections:
+            raise CheckpointError(f"extra section {name!r} collides with a core section")
+        sections[name] = pack_tree(tree)
     return meta, sections
 
 

@@ -72,15 +72,35 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1,
                      help="client-execution worker processes (1 = serial; "
                           "results are bit-identical for any value)")
-    run.add_argument("--executor", choices=("auto", "serial", "process", "chunked"),
-                     default="auto", help="client-execution engine")
-    run.add_argument("--transport", choices=("wire", "pickle"), default="wire",
+    # Choice knobs deliberately carry no argparse choices= — FLConfig
+    # validates them against the shared registry (repro.fl.config), so
+    # the CLI, config objects and the facade all raise the identical
+    # typo-suggesting ConfigError.
+    run.add_argument("--executor", default="auto",
+                     help="client-execution engine: auto | serial | process "
+                          "| chunked")
+    run.add_argument("--transport", default="wire",
                      help="parallel payload transport: packed flat buffers over "
                           "shared memory (wire) or the fork-per-round pickle "
                           "engine; results are bit-identical either way")
-    run.add_argument("--dtype", choices=("float32", "float64"), default="float64",
-                     help="compute precision (float32 is ~2x faster; float64 "
-                          "is the bit-reproducible default)")
+    run.add_argument("--dtype", default="float64",
+                     help="compute precision: float32 (~2x faster) or float64 "
+                          "(the bit-reproducible default)")
+    run.add_argument("--execution", default="sync",
+                     help="round execution: sync (barrier rounds) or async "
+                          "(event-driven buffered aggregation with staleness "
+                          "discounting)")
+    run.add_argument("--runtime", default="instant",
+                     help="per-client latency model for --execution async: "
+                          "instant | gaussian[:mean=..,std=..,het=..] | "
+                          "trace:<path.json>")
+    run.add_argument("--buffer-size", type=int, default=None, metavar="K",
+                     help="async: aggregate as soon as K updates arrive "
+                          "(default: the full round cohort)")
+    run.add_argument("--staleness-exponent", type=float, default=0.5,
+                     metavar="A",
+                     help="async: stale updates are discounted by (1+s)^-A "
+                          "(0 disables the discount)")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -215,6 +235,10 @@ def _command_run(args) -> int:
         executor=args.executor,
         transport=args.transport,
         dtype=args.dtype,
+        execution=args.execution,
+        runtime=args.runtime,
+        buffer_size=args.buffer_size,
+        staleness_exponent=args.staleness_exponent,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -357,7 +381,18 @@ def _command_experiments() -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import ConfigError
+
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ConfigError as exc:
+        # Registry-validated knobs (--executor, --execution, ...) raise
+        # here with a did-you-mean suggestion; show it without a trace.
+        raise SystemExit(f"repro: {exc}")
+
+
+def _dispatch(args) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "preset":

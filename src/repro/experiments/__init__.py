@@ -10,7 +10,7 @@ from repro.experiments.presets import (
     cross_device_config,
 )
 from repro.experiments.facade import RunPreset, RUN_PRESETS, list_presets
-from repro.experiments.runner import run_experiment, compare_algorithms, RunResult
+from repro.experiments.runner import run_grid, compare_algorithms, RunResult
 from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
 from repro.experiments.report import format_accuracy_table, format_curve, format_rounds_table
 from repro.experiments.robustness import RobustComparison, compare_with_significance
@@ -32,7 +32,7 @@ __all__ = [
     "RunPreset",
     "RUN_PRESETS",
     "list_presets",
-    "run_experiment",
+    "run_grid",
     "compare_algorithms",
     "RunResult",
     "EXPERIMENTS",

@@ -176,6 +176,10 @@ def run_experiment(
     artifacts_dir: str | Path | None = None,
     workers: int | None = None,
     transport: str | None = None,
+    execution: str | None = None,
+    runtime: str | None = None,
+    buffer_size: int | None = None,
+    staleness_exponent: float | None = None,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
     resume: bool = False,
@@ -199,6 +203,17 @@ def run_experiment(
         transport: parallel payload transport — 'wire' (packed
             shared-memory, the default) or 'pickle'; shorthand for the
             ``transport`` config override.
+        execution: 'sync' (default) or 'async' — the event-driven
+            buffered engine (:mod:`repro.fl.async_engine`); shorthand
+            for the ``execution`` config override.
+        runtime: per-client latency model spec for async execution
+            ('instant', 'gaussian:het=2', 'trace:<path.json>');
+            shorthand for the ``runtime`` config override.
+        buffer_size: aggregate after this many updates arrive (async;
+            default: the full cohort); shorthand for the config
+            override.
+        staleness_exponent: staleness discount exponent ``a`` in
+            ``(1+s)^-a`` (async); shorthand for the config override.
         checkpoint_dir: write crash-safe checkpoints here
             (:mod:`repro.ckpt`); shorthand for the config override.
         checkpoint_every: checkpoint cadence in rounds (shorthand).
@@ -220,6 +235,16 @@ def run_experiment(
         config_overrides = {**config_overrides, "num_workers": workers}
     if transport is not None:
         config_overrides = {**config_overrides, "transport": transport}
+    if execution is not None:
+        config_overrides = {**config_overrides, "execution": execution}
+    if runtime is not None:
+        config_overrides = {**config_overrides, "runtime": runtime}
+    if buffer_size is not None:
+        config_overrides = {**config_overrides, "buffer_size": buffer_size}
+    if staleness_exponent is not None:
+        config_overrides = {
+            **config_overrides, "staleness_exponent": staleness_exponent
+        }
     if checkpoint_dir is not None:
         config_overrides = {**config_overrides, "checkpoint_dir": str(checkpoint_dir)}
     if checkpoint_every is not None:

@@ -205,7 +205,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Asynchronous staleness-weighted FL; hierarchical edge/cloud FL",
             "synth_mnist Sim 0%, heterogeneous speeds / 2 edges",
             {},
-            ("repro.fl.async_sim", "repro.fl.hierarchy"),
+            ("repro.fl.async_engine", "repro.fl.async_sim", "repro.fl.hierarchy"),
             "benchmarks/test_extension_async_hierarchy.py",
         ),
         ExperimentSpec(

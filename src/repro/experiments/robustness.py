@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.significance import ComparisonResult, bootstrap_ci, paired_comparison
 from repro.data.dataset import FederatedDataset
 from repro.exceptions import ConfigError
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_grid
 from repro.fl.config import FLConfig
 from repro.models.split import SplitModel
 
@@ -65,11 +65,11 @@ def compare_with_significance(
     """
     if repeats < 2:
         raise ConfigError("need at least 2 repeats for a paired test")
-    run_a = run_experiment(
+    run_a = run_grid(
         algorithm_a, fed_builder, model_fn_builder, config,
         repeats=repeats, **(kwargs_a or {}),
     )
-    run_b = run_experiment(
+    run_b = run_grid(
         algorithm_b, fed_builder, model_fn_builder, config,
         repeats=repeats, **(kwargs_b or {}),
     )

@@ -56,7 +56,7 @@ class RunResult:
         return int(np.median(reached))
 
 
-def run_experiment(
+def run_grid(
     algorithm_name: str,
     fed_builder: Callable[[int], FederatedDataset],
     model_fn_builder: Callable[[FederatedDataset, int], Callable[[], SplitModel]],
@@ -131,6 +131,25 @@ def run_experiment(
                 provenance=run_provenance(run_config, algorithm.name),
             ))
     return result
+
+
+def run_experiment(*args, **kwargs) -> RunResult:
+    """Deprecated alias for :func:`run_grid`.
+
+    The name collided with the :func:`repro.run_experiment` preset
+    facade — ``repro.run_experiment`` now unambiguously means the
+    facade, and the seeded multi-repeat runner is :func:`run_grid`.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.experiments.runner.run_experiment was renamed to run_grid "
+        "(the name now belongs to the repro.run_experiment preset facade); "
+        "this alias will be removed",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_grid(*args, **kwargs)
 
 
 def compare_algorithms(

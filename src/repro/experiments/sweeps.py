@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.data.dataset import FederatedDataset
 from repro.exceptions import ConfigError
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_grid
 from repro.fl.config import FLConfig
 from repro.models.split import SplitModel
 
@@ -74,7 +74,7 @@ def sweep_algorithm_param(
     for value in values:
         kwargs = dict(fixed_kwargs)
         kwargs[knob] = value
-        run = run_experiment(
+        run = run_grid(
             algorithm, fed_builder, model_fn_builder,
             _cell_config(config, knob, value), repeats=repeats, **kwargs
         )
@@ -96,7 +96,7 @@ def sweep_config_field(
     """Sweep an FLConfig field (e.g. local_steps, sample_ratio)."""
     result = SweepResult(knob=knob)
     for value in values:
-        run = run_experiment(
+        run = run_grid(
             algorithm,
             fed_builder,
             model_fn_builder,
@@ -127,7 +127,7 @@ def sweep_federation(
     result = SweepResult(knob=knob)
     for value in values:
         fed_builder = fed_builder_factory(**{knob: value})
-        run = run_experiment(
+        run = run_grid(
             algorithm, fed_builder, model_fn_builder,
             _cell_config(config, knob, value),
             repeats=repeats, **algorithm_kwargs,

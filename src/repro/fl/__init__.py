@@ -15,12 +15,22 @@ serial-equivalence guarantees (:mod:`repro.fl.parallel`), upload
 compression
 (:mod:`repro.fl.compression`), failure injection
 (:mod:`repro.fl.faults`), secure aggregation (:mod:`repro.fl.secure`),
-adaptive client selection (:mod:`repro.fl.selection`), asynchronous
-training (:mod:`repro.fl.async_sim`), and hierarchical edge/cloud
-aggregation (:mod:`repro.fl.hierarchy`).
+adaptive client selection (:mod:`repro.fl.selection`), event-driven
+asynchronous execution with buffered staleness-aware aggregation
+(:mod:`repro.fl.async_engine` behind ``FLConfig(execution="async")``,
+with per-client latency models in :mod:`repro.fl.runtime` and the
+standalone FedAsync reference sim in :mod:`repro.fl.async_sim`), and
+hierarchical edge/cloud aggregation (:mod:`repro.fl.hierarchy`).
 """
 
-from repro.fl.config import FLConfig
+from repro.fl.config import (
+    EXECUTION_MODES,
+    EXECUTOR_MODES,
+    FLConfig,
+    OPTIMIZERS,
+    RUNTIME_KINDS,
+    validate_choice,
+)
 from repro.fl.comm import CommLedger, vector_bytes
 from repro.fl.parallel import (
     TRANSPORTS,
@@ -55,7 +65,19 @@ from repro.fl.compression import (
 from repro.fl.faults import FaultModel
 from repro.fl.network import LinkModel, round_network_time, estimate_run_network_time
 from repro.fl.secure import SecureAggregator, secure_weighted_average
-from repro.fl.async_sim import AsyncConfig, AsyncHistory, run_async_federated
+from repro.fl.async_engine import (
+    AsyncHistory,
+    AsyncUpdateRecord,
+    run_async_federated_engine,
+)
+from repro.fl.async_sim import AsyncConfig, run_async_federated
+from repro.fl.runtime import (
+    ClientRuntime,
+    GaussianRuntime,
+    InstantRuntime,
+    TraceRuntime,
+    make_runtime,
+)
 from repro.fl.hierarchy import HierarchyConfig, HierarchicalHistory, assign_edges, run_hierarchical
 from repro.fl.selection import (
     ClientSelector,
@@ -104,9 +126,21 @@ __all__ = [
     "SelectionContext",
     "UniformSelector",
     "PowerOfChoiceSelector",
+    "EXECUTION_MODES",
+    "EXECUTOR_MODES",
+    "OPTIMIZERS",
+    "RUNTIME_KINDS",
+    "validate_choice",
+    "ClientRuntime",
+    "InstantRuntime",
+    "GaussianRuntime",
+    "TraceRuntime",
+    "make_runtime",
     "AsyncConfig",
     "AsyncHistory",
+    "AsyncUpdateRecord",
     "run_async_federated",
+    "run_async_federated_engine",
     "HierarchyConfig",
     "HierarchicalHistory",
     "assign_edges",

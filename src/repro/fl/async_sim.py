@@ -1,13 +1,21 @@
-"""Asynchronous federated learning simulation (FedAsync-style).
+"""Standalone FedAsync simulation (the lightweight, single-purpose sim).
+
+.. note::
+   The first-class asynchronous execution path is
+   :mod:`repro.fl.async_engine` — run any registered algorithm with
+   ``FLConfig(execution="async", runtime=...)`` and it goes through the
+   event-driven buffered engine with parallel execution, checkpointing
+   and observability.  This module remains as the minimal pure-FedAsync
+   reference: one client per server update, continuous re-dispatch, no
+   buffering, no algorithm plug-in.  The record/history types are shared
+   with the engine.
 
 The paper's algorithms are synchronous — every round waits for all
 selected clients.  Real cross-device fleets are asynchronous: clients
 finish at different times and the server applies updates as they
 arrive, discounted by *staleness* (how many server updates happened
-since the client fetched its base model).  This module provides an
-event-driven simulator of that regime (Xie et al. 2019's FedAsync
-weighting) so the library covers both ends of the synchronization
-spectrum.
+since the client fetched its base model; Xie et al. 2019's FedAsync
+weighting).
 
 Server update on arrival of client k's model y trained from version v:
 
@@ -23,17 +31,25 @@ the async pathology the staleness discount exists to contain.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.data.dataset import FederatedDataset
 from repro.exceptions import ConfigError
+from repro.fl.async_engine import AsyncHistory, AsyncUpdateRecord
 from repro.fl.client import evaluate_model, local_sgd_steps
 from repro.fl.config import FLConfig
 from repro.models.split import SplitModel
 from repro.nn.serialization import get_flat_params, set_flat_params
+
+__all__ = [
+    "AsyncConfig",
+    "AsyncHistory",
+    "AsyncUpdateRecord",
+    "run_async_federated",
+]
 
 
 @dataclass(frozen=True)
@@ -57,44 +73,6 @@ class AsyncConfig:
             raise ConfigError("alpha must be in (0, 1]")
         if self.staleness_exponent < 0:
             raise ConfigError("staleness_exponent must be non-negative")
-
-
-@dataclass
-class AsyncUpdateRecord:
-    """One applied server update."""
-
-    update_idx: int
-    sim_time: float
-    client_id: int
-    staleness: int
-    effective_weight: float
-    train_loss: float
-    test_accuracy: float | None = None
-
-
-@dataclass
-class AsyncHistory:
-    """Trajectory of an asynchronous run."""
-
-    records: list[AsyncUpdateRecord] = field(default_factory=list)
-    final_accuracy: float | None = None
-
-    def staleness_values(self) -> np.ndarray:
-        return np.array([r.staleness for r in self.records])
-
-    def client_update_counts(self, num_clients: int) -> np.ndarray:
-        counts = np.zeros(num_clients, dtype=np.int64)
-        for record in self.records:
-            counts[record.client_id] += 1
-        return counts
-
-    def accuracies(self) -> np.ndarray:
-        pts = [
-            (r.update_idx, r.test_accuracy)
-            for r in self.records
-            if r.test_accuracy is not None
-        ]
-        return np.array(pts) if pts else np.zeros((0, 2))
 
 
 def run_async_federated(

@@ -1,11 +1,72 @@
-"""Federated training configuration."""
+"""Federated training configuration and the string-choice registry.
+
+Every string-valued knob with a closed set of values (``executor``,
+``transport``, ``optimizer``, ``dtype``, ``execution``, ``runtime``) is
+validated through one registry here — :data:`CHOICES` plus
+:func:`validate_choice` — so the CLI, :class:`FLConfig` and
+:func:`repro.run_experiment` all raise the *same* typo-suggesting
+:class:`~repro.exceptions.ConfigError` instead of three divergent
+checks.
+"""
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, replace
 
 from repro.exceptions import ConfigError
 from repro.nn.optim import LRSchedule
+
+# -- the string-choice knob registry ------------------------------------------------
+
+EXECUTOR_MODES = ("auto", "serial", "process", "chunked")
+TRANSPORTS = ("wire", "pickle")
+EXECUTION_MODES = ("sync", "async")
+RUNTIME_KINDS = ("instant", "gaussian", "trace")
+OPTIMIZERS = ("sgd", "rmsprop", "adam")
+DTYPES = ("float32", "float64")
+
+CHOICES: dict[str, tuple[str, ...]] = {
+    "executor": EXECUTOR_MODES,
+    "transport": TRANSPORTS,
+    "execution": EXECUTION_MODES,
+    "runtime": RUNTIME_KINDS,
+    "optimizer": OPTIMIZERS,
+    "dtype": DTYPES,
+}
+
+
+def validate_choice(knob: str, value) -> str:
+    """Validate a string-choice knob against the registry.
+
+    Returns the value unchanged when valid; raises a
+    :class:`~repro.exceptions.ConfigError` naming the knob, the valid
+    values, and (when a close match exists) a "did you mean" suggestion.
+    Every layer that accepts these knobs — CLI flags, ``FLConfig``
+    construction, ``run_experiment`` overrides — funnels through here,
+    so the error text is identical everywhere.
+    """
+    choices = CHOICES.get(knob)
+    if choices is None:
+        raise KeyError(f"unknown choice knob {knob!r}; registry has {sorted(CHOICES)}")
+    if value in choices:
+        return value
+    message = f"{knob} must be one of {choices}, got {value!r}"
+    close = difflib.get_close_matches(str(value), choices, n=1)
+    if close:
+        message += f" — did you mean {close[0]!r}?"
+    raise ConfigError(message)
+
+
+def validate_runtime_spec(spec) -> str:
+    """Validate a ``runtime`` spec string (``kind[:params]``).
+
+    Only the kind is registry-checked here; parameter parsing (and its
+    own errors) happens in :func:`repro.fl.runtime.make_runtime`.
+    """
+    kind = str(spec).partition(":")[0]
+    validate_choice("runtime", kind)
+    return spec
 
 
 @dataclass(frozen=True)
@@ -13,7 +74,9 @@ class FLConfig:
     """Hyperparameters of one federated run.
 
     Attributes:
-        rounds: number of communication rounds C.
+        rounds: number of communication rounds C.  Under
+            ``execution='async'`` this is the number of buffered server
+            aggregations.
         local_steps: local minibatch-SGD steps per round E.
         batch_size: minibatch size B.
         sample_ratio: fraction of clients selected per round SR
@@ -48,6 +111,29 @@ class FLConfig:
             'float32' (~2x faster kernels, half-size payloads; results
             agree to float32 precision but are not bit-identical to
             float64 runs).
+        execution: protocol pacing — 'sync' (every round is a barrier:
+            the server waits for all selected clients) or 'async' (the
+            event-driven engine of :mod:`repro.fl.async_engine`:
+            per-client runtime models, a buffered server, and
+            staleness-weighted aggregation).  With instant runtimes and
+            a full-cohort buffer, 'async' reproduces 'sync' bit for
+            bit.
+        runtime: per-client latency model spec for async execution —
+            'instant', 'gaussian[:mean=1,std=0.1,het=2]' or
+            'trace:<path.json>' (see :mod:`repro.fl.runtime`).
+        buffer_size: async server buffer K — aggregate as soon as this
+            many client updates have arrived.  ``None`` (default) means
+            the round's full cohort, the sync-shaped setting.
+        buffer_timeout: optional async buffer timeout in *simulated*
+            seconds: a flush with at least one update fires when the
+            next arrival would land later than this far past the
+            round's dispatch, even if the buffer is not full.
+        staleness_exponent: a in the staleness weight (1+s)^-a applied
+            to buffered updates that are s >= 1 server rounds stale
+            (Xie et al. 2019).  0 disables the discount (stale deltas
+            are still re-based onto the current model); fresh updates
+            (s=0) are never touched, which is what keeps the
+            zero-latency limit bit-identical.
         checkpoint_dir: directory for crash-safe run checkpoints
             (:mod:`repro.ckpt`).  ``None`` (default) disables
             checkpointing entirely.
@@ -79,16 +165,17 @@ class FLConfig:
     executor: str = "auto"
     transport: str = "wire"
     dtype: str = "float64"
+    execution: str = "sync"
+    runtime: str = "instant"
+    buffer_size: int | None = None
+    buffer_timeout: float | None = None
+    staleness_exponent: float = 0.5
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     checkpoint_keep: int = 3
     resume: bool = False
 
     def __post_init__(self) -> None:
-        # Imported here: repro.fl.parallel depends on repro.exceptions only,
-        # but keeping config import-light avoids any future cycle.
-        from repro.fl.parallel import EXECUTOR_MODES, TRANSPORTS
-
         if self.rounds <= 0:
             raise ConfigError("rounds must be positive")
         if self.local_steps <= 0:
@@ -101,18 +188,18 @@ class FLConfig:
             raise ConfigError("eval_every must be positive")
         if self.num_workers < 1:
             raise ConfigError("num_workers must be >= 1")
-        if self.executor not in EXECUTOR_MODES:
-            raise ConfigError(
-                f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
-            )
-        if self.transport not in TRANSPORTS:
-            raise ConfigError(
-                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
-            )
-        if self.dtype not in ("float32", "float64"):
-            raise ConfigError(
-                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
-            )
+        validate_choice("executor", self.executor)
+        validate_choice("transport", self.transport)
+        validate_choice("optimizer", self.optimizer)
+        validate_choice("dtype", self.dtype)
+        validate_choice("execution", self.execution)
+        validate_runtime_spec(self.runtime)
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ConfigError("buffer_size must be >= 1 (or None for the full cohort)")
+        if self.buffer_timeout is not None and self.buffer_timeout <= 0:
+            raise ConfigError("buffer_timeout must be positive (or None)")
+        if self.staleness_exponent < 0:
+            raise ConfigError("staleness_exponent must be non-negative")
         if self.wire_dtype_bytes is not None and self.wire_dtype_bytes <= 0:
             raise ConfigError("wire_dtype_bytes must be positive (or None)")
         if self.checkpoint_every <= 0:

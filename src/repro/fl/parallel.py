@@ -64,10 +64,8 @@ import numpy as np
 from repro.exceptions import ConfigError, WireError
 from repro.fl import wire
 from repro.fl.compression import WireSize
+from repro.fl.config import EXECUTOR_MODES, TRANSPORTS, validate_choice
 from repro.obs.trace import NULL_TRACER
-
-EXECUTOR_MODES = ("auto", "serial", "process", "chunked")
-TRANSPORTS = ("wire", "pickle")
 
 
 @dataclass
@@ -242,8 +240,7 @@ class ParallelExecutor(ClientExecutor):
     ) -> None:
         if num_workers < 1:
             raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
-        if transport not in TRANSPORTS:
-            raise ConfigError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        validate_choice("transport", transport)
         self.num_workers = num_workers
         self.chunked = chunked
         self.transport = transport
@@ -460,8 +457,7 @@ def make_executor(config) -> ClientExecutor:
     mode = getattr(config, "executor", "auto")
     workers = int(getattr(config, "num_workers", 1))
     transport = getattr(config, "transport", "wire")
-    if mode not in EXECUTOR_MODES:
-        raise ConfigError(f"executor must be one of {EXECUTOR_MODES}, got {mode!r}")
+    validate_choice("executor", mode)
     if mode == "serial" or (mode == "auto" and workers <= 1):
         return SerialExecutor()
     return ParallelExecutor(workers, chunked=(mode == "chunked"), transport=transport)

@@ -3,7 +3,11 @@
 :func:`run_federated` drives a full training job: round-by-round client
 sampling, one algorithm round, periodic evaluation of the global model,
 and metric / communication bookkeeping.  It is algorithm-agnostic — all
-method-specific behaviour lives in :mod:`repro.algorithms`.
+method-specific behaviour lives in :mod:`repro.algorithms` — and
+execution-agnostic: ``config.execution`` selects between the
+synchronous barrier loop here and the event-driven buffered engine in
+:mod:`repro.fl.async_engine` (a scheduler swap; with instant runtimes
+and a full-cohort buffer the two are bit-identical).
 
 Observability: pass a :class:`repro.obs.Tracer` and every round emits a
 nested span tree (``round`` > ``sample`` / ``broadcast`` /
@@ -16,7 +20,6 @@ overhead.
 from __future__ import annotations
 
 import time
-import warnings
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -25,6 +28,7 @@ from repro.data.dataset import FederatedDataset
 
 if TYPE_CHECKING:  # imported for typing only; avoids a circular import
     from repro.algorithms.base import FederatedAlgorithm
+from repro.exceptions import ConfigError
 from repro.fl.client import evaluate_model
 from repro.fl.config import FLConfig
 from repro.fl.metrics import History, RoundRecord
@@ -47,7 +51,8 @@ def run_federated(
     callbacks: Sequence[RoundCallback] | None = None,
     selector=None,
     tracer=None,
-    progress: RoundCallback | None = None,
+    runtime=None,
+    **removed,
 ) -> History:
     """Run one federated training job and return its :class:`History`.
 
@@ -67,9 +72,21 @@ def run_federated(
         tracer: optional :class:`repro.obs.Tracer`; when given, rounds
             emit span trees, the ledger shares the tracer's metric
             registry, and the tracer observes every round record.
-        progress: deprecated single callback; use ``callbacks=[fn]``.
+        runtime: optional :class:`~repro.fl.runtime.ClientRuntime`
+            instance overriding ``config.runtime`` (async execution
+            only); config specs cover the common models, an object here
+            covers bespoke ones.
     """
-    from repro.fl.selection import SelectionContext
+    if "progress" in removed:
+        raise TypeError(
+            "run_federated() no longer accepts 'progress='; it was deprecated "
+            "in favour of callbacks=[fn] and has been removed — pass the "
+            "callable in the callbacks sequence instead"
+        )
+    if removed:
+        raise TypeError(
+            f"run_federated() got unexpected keyword arguments {sorted(removed)}"
+        )
 
     # The dtype policy wraps the entire job — model construction, local
     # training, aggregation, and evaluation all see config.dtype.  The
@@ -77,6 +94,24 @@ def run_federated(
     # it automatically.
     with default_dtype(config.dtype):
         try:
+            if config.execution == "async":
+                from repro.fl.async_engine import run_async_federated_engine
+
+                return run_async_federated_engine(
+                    algorithm,
+                    fed,
+                    model_fn,
+                    config,
+                    eval_per_client=eval_per_client,
+                    callbacks=callbacks,
+                    selector=selector,
+                    tracer=tracer,
+                    runtime=runtime,
+                )
+            if runtime is not None:
+                raise ConfigError(
+                    "runtime= is an async-execution knob; set execution='async'"
+                )
             return _run_federated(
                 algorithm,
                 fed,
@@ -86,13 +121,81 @@ def run_federated(
                 callbacks=callbacks,
                 selector=selector,
                 tracer=tracer,
-                progress=progress,
             )
         finally:
             # The wire transport keeps a worker pool and a shared-memory
             # buffer alive across rounds; release them with the run.  An
             # executor stays usable — it re-creates its pool lazily.
             algorithm.executor.close()
+
+
+# -- helpers shared by the sync loop and the async engine ---------------------------
+
+
+def resolve_round_callbacks(
+    callbacks: Sequence[RoundCallback] | None, tracer
+) -> tuple[list[RoundCallback], "object"]:
+    """Normalize the callback list and tracer (NULL_TRACER when absent);
+    a live tracer observes every round record."""
+    round_callbacks: list[RoundCallback] = list(callbacks) if callbacks else []
+    if tracer is None:
+        tracer = NULL_TRACER
+    if tracer.enabled:
+        round_callbacks.append(tracer.on_round)
+    return round_callbacks, tracer
+
+
+def make_client_loss(algorithm, model, fed, config) -> Callable[[int], float]:
+    """Loss of the current global model on one client's shard (the
+    signal loss-based selectors rank by)."""
+
+    def client_loss(client_id: int) -> float:
+        assert algorithm.global_params is not None
+        set_flat_params(model, algorithm.global_params)
+        loss, _acc = evaluate_model(model, fed.clients[client_id], config.eval_batch)
+        return loss
+
+    return client_loss
+
+
+def select_round_clients(
+    round_idx: int,
+    fed: FederatedDataset,
+    config: FLConfig,
+    round_rng: np.random.Generator,
+    selector,
+    client_loss: Callable[[int], float],
+) -> np.ndarray:
+    """One round's cohort — uniform sampling or a custom selector.
+
+    Both execution modes draw from the same ``round_rng`` stream in the
+    same per-round order, which is one of the preconditions for the
+    async engine's zero-latency bit-identity.
+    """
+    from repro.fl.selection import SelectionContext
+
+    if selector is None:
+        return sample_clients(fed.num_clients, config.sample_ratio, round_rng)
+    context = SelectionContext(
+        round_idx=round_idx, fed=fed, rng=round_rng, client_loss=client_loss
+    )
+    return np.asarray(selector.select(context), dtype=np.int64)
+
+
+def eval_per_client_accuracy(algorithm, model, fed, config, tracer) -> np.ndarray:
+    """Final global model's accuracy on each client's shard (Fig. 11)."""
+    with tracer.span("eval_per_client"):
+        assert algorithm.global_params is not None
+        set_flat_params(model, algorithm.global_params)
+        per_client = np.zeros(fed.num_clients)
+        eval_sets = fed.client_test if fed.client_test else fed.clients
+        for k, shard in enumerate(eval_sets):
+            _loss, acc = evaluate_model(model, shard, config.eval_batch)
+            per_client[k] = acc
+        return per_client
+
+
+# -- the synchronous barrier loop ---------------------------------------------------
 
 
 def _run_federated(
@@ -105,33 +208,14 @@ def _run_federated(
     callbacks: Sequence[RoundCallback] | None = None,
     selector=None,
     tracer=None,
-    progress: RoundCallback | None = None,
 ) -> History:
-    from repro.fl.selection import SelectionContext
-
-    round_callbacks: list[RoundCallback] = list(callbacks) if callbacks else []
-    if progress is not None:
-        warnings.warn(
-            "run_federated(progress=...) is deprecated; pass callbacks=[fn] instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        round_callbacks.append(progress)
-    if tracer is None:
-        tracer = NULL_TRACER
-    if tracer.enabled:
-        round_callbacks.append(tracer.on_round)
+    round_callbacks, tracer = resolve_round_callbacks(callbacks, tracer)
 
     model = model_fn()
     algorithm.tracer = tracer
     algorithm.setup(model, fed, config)
     round_rng = np.random.default_rng([config.seed, 0xF1])
-
-    def client_loss(client_id: int) -> float:
-        assert algorithm.global_params is not None
-        set_flat_params(model, algorithm.global_params)
-        loss, _acc = evaluate_model(model, fed.clients[client_id], config.eval_batch)
-        return loss
+    client_loss = make_client_loss(algorithm, model, fed, config)
 
     history = History(algorithm=algorithm.name)
 
@@ -167,16 +251,9 @@ def _run_federated(
     for round_idx in range(start_round, config.rounds):
         with tracer.span("round", round=round_idx):
             with tracer.span("sample"):
-                if selector is None:
-                    selected = sample_clients(
-                        fed.num_clients, config.sample_ratio, round_rng
-                    )
-                else:
-                    context = SelectionContext(
-                        round_idx=round_idx, fed=fed, rng=round_rng,
-                        client_loss=client_loss,
-                    )
-                    selected = np.asarray(selector.select(context), dtype=np.int64)
+                selected = select_round_clients(
+                    round_idx, fed, config, round_rng, selector, client_loss
+                )
             if tracer.enabled:
                 for client_id in selected:
                     tracer.metrics.counter(
@@ -231,13 +308,7 @@ def _run_federated(
 
     history.final_accuracy = history.last_accuracy()
     if eval_per_client:
-        with tracer.span("eval_per_client"):
-            assert algorithm.global_params is not None
-            set_flat_params(model, algorithm.global_params)
-            per_client = np.zeros(fed.num_clients)
-            eval_sets = fed.client_test if fed.client_test else fed.clients
-            for k, shard in enumerate(eval_sets):
-                _loss, acc = evaluate_model(model, shard, config.eval_batch)
-                per_client[k] = acc
-            history.per_client_accuracy = per_client
+        history.per_client_accuracy = eval_per_client_accuracy(
+            algorithm, model, fed, config, tracer
+        )
     return history

@@ -93,6 +93,12 @@ def write_run_artifacts(out_dir: str | Path, history, tracer=None, provenance=No
     with open(out_dir / "summary.json", "w") as handle:
         json.dump(summary_dict(history, tracer, provenance), handle, indent=2)
     history.save_csv(str(out_dir / "rounds.csv"))
+    async_history = getattr(history, "async_history", None)
+    if async_history is not None:
+        # Async runs additionally carry the update-level trajectory
+        # (arrival times, staleness, effective weights).
+        with open(out_dir / "async.json", "w") as handle:
+            json.dump(async_history.to_dict(), handle, indent=2)
     if tracer is not None and tracer.enabled:
         write_jsonl(out_dir / "events.jsonl", tracer)
     return out_dir

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.runner import RunResult, compare_algorithms, run_experiment
+from repro.experiments.runner import RunResult, compare_algorithms, run_grid
 from repro.fl.config import FLConfig
 from repro.fl.metrics import History, RoundRecord
 from repro.models import build_mlp
@@ -24,8 +24,8 @@ def _config():
     return FLConfig(rounds=3, local_steps=2, batch_size=8, lr=0.1, seed=0)
 
 
-def test_run_experiment_repeats(rng):
-    result = run_experiment(
+def test_run_grid_repeats(rng):
+    result = run_grid(
         "fedavg", _fed_builder, _model_fn_builder, _config(), repeats=2
     )
     assert result.algorithm == "fedavg"
@@ -33,7 +33,7 @@ def test_run_experiment_repeats(rng):
 
 
 def test_repeats_vary_seed(rng):
-    result = run_experiment(
+    result = run_grid(
         "fedavg", _fed_builder, _model_fn_builder, _config(), repeats=2
     )
     a, b = result.histories
@@ -41,7 +41,7 @@ def test_repeats_vary_seed(rng):
 
 
 def test_algorithm_kwargs_forwarded():
-    result = run_experiment(
+    result = run_grid(
         "fedprox", _fed_builder, _model_fn_builder, _config(), repeats=1, mu=0.5
     )
     assert len(result.histories) == 1
@@ -95,7 +95,7 @@ def test_rounds_to_reach_median():
 
 def test_checkpointed_repeats_get_isolated_cell_directories(tmp_path):
     config = _config().with_updates(checkpoint_dir=str(tmp_path))
-    run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+    run_grid("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
     for rep in range(2):
         cell = tmp_path / f"fedavg-rep{rep}"
         assert (cell / "result.json").is_file()
@@ -106,7 +106,7 @@ def test_grid_resume_skips_finished_cells(tmp_path, monkeypatch):
     import repro.experiments.runner as runner_mod
 
     config = _config().with_updates(checkpoint_dir=str(tmp_path))
-    first = run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+    first = run_grid("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
 
     calls = []
     real_run = runner_mod.run_federated
@@ -116,7 +116,7 @@ def test_grid_resume_skips_finished_cells(tmp_path, monkeypatch):
         return real_run(*args, **kwargs)
 
     monkeypatch.setattr(runner_mod, "run_federated", counting_run)
-    again = run_experiment(
+    again = run_grid(
         "fedavg", _fed_builder, _model_fn_builder,
         config.with_updates(resume=True), repeats=2,
     )
@@ -128,11 +128,11 @@ def test_grid_resume_skips_finished_cells(tmp_path, monkeypatch):
 def test_grid_resume_reruns_only_unfinished_cells(tmp_path, monkeypatch):
     import repro.experiments.runner as runner_mod
 
-    baseline = run_experiment(
+    baseline = run_grid(
         "fedavg", _fed_builder, _model_fn_builder, _config(), repeats=2
     )
     config = _config().with_updates(checkpoint_dir=str(tmp_path), checkpoint_keep=50)
-    run_experiment("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
+    run_grid("fedavg", _fed_builder, _model_fn_builder, config, repeats=2)
 
     # Simulate a crash midway through repeat 1: its marker and newest
     # checkpoints are gone, only rounds 0..1 survive.
@@ -148,7 +148,7 @@ def test_grid_resume_reruns_only_unfinished_cells(tmp_path, monkeypatch):
         return real_run(*args, **kwargs)
 
     monkeypatch.setattr(runner_mod, "run_federated", counting_run)
-    resumed = run_experiment(
+    resumed = run_grid(
         "fedavg", _fed_builder, _model_fn_builder,
         config.with_updates(resume=True), repeats=2,
     )
@@ -160,3 +160,16 @@ def test_grid_resume_reruns_only_unfinished_cells(tmp_path, monkeypatch):
             [r.test_accuracy for r in h_res.records],
         )
     assert (crashed / "result.json").is_file()  # marker rewritten on completion
+
+
+def test_run_experiment_alias_warns_and_delegates(rng):
+    # Old name kept as a deprecation shim for the run_grid rename.
+    import pytest
+    from repro.experiments import runner
+
+    config = FLConfig(rounds=1, local_steps=1, batch_size=8, seed=0)
+    with pytest.warns(DeprecationWarning, match="run_grid"):
+        result = runner.run_experiment(
+            "fedavg", _fed_builder, _model_fn_builder, config
+        )
+    assert isinstance(result, RunResult)

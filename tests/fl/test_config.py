@@ -45,3 +45,62 @@ def test_config_is_frozen():
     config = FLConfig()
     with pytest.raises(Exception):
         config.rounds = 99
+
+
+# -- the shared choice-knob registry ------------------------------------------------
+
+
+def test_choice_registry_covers_all_choice_knobs():
+    from repro.fl.config import CHOICES
+
+    assert set(CHOICES) >= {
+        "executor", "transport", "execution", "runtime", "optimizer", "dtype"
+    }
+
+
+@pytest.mark.parametrize(
+    "kwargs,suggestion",
+    [
+        ({"executor": "proces"}, "process"),
+        ({"transport": "wrie"}, "wire"),
+        ({"execution": "asynch"}, "async"),
+        ({"runtime": "instan"}, "instant"),
+        ({"optimizer": "adan"}, "adam"),
+        ({"dtype": "float62"}, "float64"),
+    ],
+)
+def test_choice_knob_typos_get_suggestions(kwargs, suggestion):
+    with pytest.raises(ConfigError, match=f"did you mean {suggestion!r}"):
+        FLConfig(**kwargs)
+
+
+def test_validate_choice_message_is_shared():
+    # CLI / FLConfig / make_runtime all funnel through one validator,
+    # so the message shape is identical everywhere.
+    from repro.fl.config import validate_choice
+
+    with pytest.raises(ConfigError, match=r"executor must be one of"):
+        validate_choice("executor", "nope")
+
+
+def test_runtime_spec_validates_head_only():
+    # Parameterized specs ('gaussian:het=2', 'trace:file.json') pass the
+    # registry check on their head; bad heads are rejected.
+    FLConfig(runtime="gaussian:het=2.0")
+    FLConfig(runtime="trace:/some/file.json")
+    with pytest.raises(ConfigError):
+        FLConfig(runtime="uniform:lo=1,hi=2")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"buffer_size": 0},
+        {"buffer_timeout": 0.0},
+        {"buffer_timeout": -1.0},
+        {"staleness_exponent": -0.1},
+    ],
+)
+def test_invalid_async_fields_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        FLConfig(**kwargs)

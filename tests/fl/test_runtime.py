@@ -1,0 +1,110 @@
+"""Per-client runtime models (repro.fl.runtime)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.fl.runtime import (
+    GaussianRuntime,
+    InstantRuntime,
+    TraceRuntime,
+    make_runtime,
+)
+
+
+def test_instant_runtime_is_zero():
+    runtime = InstantRuntime()
+    assert runtime.duration(0, 0) == 0.0
+    assert runtime.duration(7, 3) == 0.0
+
+
+def test_gaussian_durations_deterministic_and_positive():
+    runtime = GaussianRuntime(num_clients=8, mean=2.0, std=0.3, seed=5)
+    table = [[runtime.duration(r, k) for k in range(8)] for r in range(4)]
+    again = GaussianRuntime(num_clients=8, mean=2.0, std=0.3, seed=5)
+    assert table == [[again.duration(r, k) for k in range(8)] for r in range(4)]
+    assert all(t > 0 for row in table for t in row)
+
+
+def test_gaussian_heterogeneity_spreads_base_times():
+    flat = GaussianRuntime(num_clients=50, heterogeneity=0.0, seed=1)
+    skew = GaussianRuntime(num_clients=50, heterogeneity=2.0, seed=1)
+    assert np.allclose(flat.base_times, flat.mean)
+    assert skew.base_times.std() > flat.base_times.std()
+
+
+def test_gaussian_seed_changes_durations():
+    a = GaussianRuntime(num_clients=4, std=0.5, seed=1)
+    b = GaussianRuntime(num_clients=4, std=0.5, seed=2)
+    assert a.duration(0, 0) != b.duration(0, 0)
+
+
+def test_gaussian_rejects_bad_params():
+    with pytest.raises(ConfigError):
+        GaussianRuntime(num_clients=0)
+    with pytest.raises(ConfigError):
+        GaussianRuntime(num_clients=2, mean=0.0)
+    with pytest.raises(ConfigError):
+        GaussianRuntime(num_clients=2, std=-1.0)
+
+
+def test_trace_runtime_constant_and_cycling():
+    constant = TraceRuntime([1.0, 2.0, 3.0])
+    assert constant.duration(0, 1) == 2.0
+    assert constant.duration(9, 1) == 2.0  # (N,) tables repeat every round
+    cycling = TraceRuntime([[1.0, 5.0], [2.0, 6.0]])
+    assert cycling.duration(0, 0) == 1.0
+    assert cycling.duration(1, 0) == 5.0
+    assert cycling.duration(2, 0) == 1.0  # cycles with period T
+
+
+def test_trace_runtime_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        TraceRuntime([1.0, 0.0])
+
+
+def test_trace_runtime_from_json(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"times": [1.5, 2.5]}))
+    runtime = TraceRuntime.from_json(str(path))
+    assert runtime.duration(0, 1) == 2.5
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps([3.0, 4.0]))
+    assert TraceRuntime.from_json(str(bare)).duration(0, 0) == 3.0
+
+
+def test_make_runtime_specs(tmp_path):
+    assert isinstance(make_runtime("instant", 4), InstantRuntime)
+    gauss = make_runtime("gaussian:mean=2,std=0.2,het=1.5", 4, seed=3)
+    assert isinstance(gauss, GaussianRuntime)
+    assert gauss.mean == 2.0 and gauss.heterogeneity == 1.5
+    path = tmp_path / "t.json"
+    path.write_text("[1.0, 2.0]")
+    assert isinstance(make_runtime(f"trace:{path}", 2), TraceRuntime)
+
+
+def test_make_runtime_passes_instances_through():
+    runtime = InstantRuntime()
+    assert make_runtime(runtime, 4) is runtime
+
+
+def test_make_runtime_rejects_unknown_kind():
+    with pytest.raises(ConfigError, match="did you mean"):
+        make_runtime("gausian", 4)
+
+
+def test_make_runtime_rejects_bad_gaussian_key():
+    with pytest.raises(ConfigError, match="key=value"):
+        make_runtime("gaussian:speed=2", 4)
+
+
+def test_make_runtime_instant_takes_no_params():
+    with pytest.raises(ConfigError):
+        make_runtime("instant:fast=1", 4)
+
+
+def test_make_runtime_trace_needs_path():
+    with pytest.raises(ConfigError, match="trace:<path"):
+        make_runtime("trace", 4)

@@ -87,14 +87,20 @@ def test_round_callbacks_invoked(toy_federation, fast_config):
     assert len(also) == fast_config.rounds
 
 
-def test_progress_keyword_deprecated_but_works(toy_federation, fast_config):
-    seen = []
-    with pytest.warns(DeprecationWarning, match="callbacks"):
+def test_progress_keyword_removed(toy_federation, fast_config):
+    with pytest.raises(TypeError, match="callbacks"):
         run_federated(
             FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
-            progress=lambda rec: seen.append(rec.round_idx),
+            progress=lambda rec: None,
         )
-    assert seen == list(range(fast_config.rounds))
+
+
+def test_unknown_keyword_rejected(toy_federation, fast_config):
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        run_federated(
+            FedAvg(), toy_federation, _model_fn(toy_federation), fast_config,
+            progess=lambda rec: None,  # typo'd name must not pass silently
+        )
 
 
 def test_optional_params_are_keyword_only(toy_federation, fast_config):
