@@ -31,6 +31,7 @@ Extension points, in round order:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -121,7 +122,17 @@ class FederatedAlgorithm:
         # Traced runs share the tracer's registry so byte counters land
         # next to the spans; untraced runs get a private registry.
         metrics = self.tracer.metrics if self.tracer.enabled else None
-        self.ledger = CommLedger(config.wire_bytes_per_scalar(), metrics=metrics)
+        streaming = getattr(config, "history_mode", "append") == "stream"
+        stream_dir = getattr(config, "stream_dir", None)
+        self.ledger = CommLedger(
+            config.wire_bytes_per_scalar(),
+            metrics=metrics,
+            streaming=streaming,
+            stream_path=(
+                None if stream_dir is None or not streaming
+                else os.path.join(stream_dir, "comm.jsonl")
+            ),
+        )
         self.model_size = num_params(model)
         self.executor = (
             self._executor_override

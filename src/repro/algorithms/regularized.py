@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import FederatedAlgorithm
-from repro.core.delta import DeltaCache, DeltaTable
+from repro.core.delta import DeltaCache, DeltaTable, ShardedDeltaTable
 from repro.core.privacy import GaussianDeltaMechanism
 from repro.core.regularizer import DistributionRegularizer
 from repro.exceptions import ConfigError
@@ -55,32 +55,55 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         else:
             self.delta_cache = DeltaCache(max_entries=int(delta_cache))
 
+    # Populations at or above this size default to the sharded table
+    # under state_sharding='auto' (dense would allocate N*d float64).
+    AUTO_SHARD_THRESHOLD = 4096
+
+    def _use_sharded_table(self, fed, config) -> bool:
+        mode = getattr(config, "state_sharding", "auto")
+        if mode == "dense":
+            return False
+        if mode == "sharded":
+            return True
+        return bool(getattr(fed, "virtual", False)) or (
+            fed.num_clients >= self.AUTO_SHARD_THRESHOLD
+        )
+
     def setup(self, model, fed, config) -> None:
         super().setup(model, fed, config)
-        self.delta_table = DeltaTable(
-            fed.num_clients, model.feature_dim,
-            dtype_bytes=config.wire_bytes_per_scalar(),
-        )
+        if self._use_sharded_table(fed, config):
+            self.delta_table = ShardedDeltaTable(
+                fed.num_clients, model.feature_dim,
+                dtype_bytes=config.wire_bytes_per_scalar(),
+                max_resident=getattr(config, "state_cap", None),
+                spill_dir=getattr(config, "state_dir", None),
+            )
+        else:
+            self.delta_table = DeltaTable(
+                fed.num_clients, model.feature_dim,
+                dtype_bytes=config.wire_bytes_per_scalar(),
+            )
 
     def _worker_state(self) -> dict:
         state = super()._worker_state()
         assert self.delta_table is not None
-        table, reported = self.delta_table.state_arrays()
-        state["delta_table"] = table
-        state["delta_reported"] = reported
+        state.update(self.delta_table.worker_segments())
         return state
 
     def _install_worker_state(self, state: dict) -> None:
         super()._install_worker_state(state)
         assert self.delta_table is not None
-        self.delta_table.install_views(state["delta_table"], state["delta_reported"])
+        keys = (
+            ("delta_table", "delta_reported")
+            if "delta_table" in state
+            else ("delta_ids", "delta_rows", "delta_reported")
+        )
+        self.delta_table.install_worker_segments({k: state[k] for k in keys})
 
     def checkpoint_state(self) -> dict:
         state = super().checkpoint_state()
         assert self.delta_table is not None
-        table, reported = self.delta_table.state_arrays()
-        state["delta_table"] = table
-        state["delta_reported"] = reported
+        state.update(self.delta_table.checkpoint_segments())
         if self.delta_cache is not None:
             state["delta_cache"] = self.delta_cache.state_dict()
         return state
@@ -88,9 +111,7 @@ class RegularizedAlgorithm(FederatedAlgorithm):
     def restore_checkpoint_state(self, state: dict) -> None:
         super().restore_checkpoint_state(state)
         assert self.delta_table is not None
-        table, reported = self.delta_table.state_arrays()
-        np.copyto(table, state["delta_table"])
-        np.copyto(reported, state["delta_reported"])
+        self.delta_table.restore_checkpoint_segments(state)
         if self.delta_cache is not None and "delta_cache" in state:
             self.delta_cache.load_state_dict(state["delta_cache"])
 

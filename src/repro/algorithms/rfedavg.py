@@ -62,13 +62,14 @@ class RFedAvg(RegularizedAlgorithm):
         return self._traced_reg_hook(hook)
 
     def _others_rows(self, client_id: int) -> np.ndarray | None:
-        """Reported delta rows of every client except ``client_id``."""
+        """Reported delta rows of every client except ``client_id``.
+
+        Goes through :meth:`DeltaTable.reported_rows_except` so the
+        dense and sharded layouts serve the identical (R, d) array —
+        the sharded table never materializes the (N, d) table here.
+        """
         assert self.delta_table is not None
-        mask = self.delta_table.reported_mask
-        mask[client_id] = False
-        if not mask.any():
-            return None
-        return self.delta_table.full_table()[mask]
+        return self.delta_table.reported_rows_except(client_id)
 
     def _charge_broadcast(self, selected: np.ndarray) -> None:
         # Downlink: model + the full (N, d) delta table per client.

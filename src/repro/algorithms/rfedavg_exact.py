@@ -47,6 +47,18 @@ class RFedAvgExact(RFedAvgPlus):
             and self.config is not None
         )
         # Refresh every client's delta from the current global model.
+        # This is O(N) work per round by design (the point of the
+        # ablation); refuse population scales where "every client" stops
+        # being a simulable notion instead of silently grinding forever.
+        if self.fed.num_clients > 100_000:
+            from repro.exceptions import ConfigError
+
+            raise ConfigError(
+                "rfedavg_exact recomputes every client's delta each round "
+                f"(O(N) per round); population {self.fed.num_clients} is "
+                "beyond its reference-baseline scope — use rfedavg+ for "
+                "cross-device populations"
+            )
         self._load_global()
         for client_id in range(self.fed.num_clients):
             self.delta_table.update(

@@ -28,6 +28,7 @@ from repro.ckpt.format import (
 )
 from repro.ckpt.manager import CheckpointManager
 from repro.ckpt.provenance import check_resume_compatible, config_hash, run_provenance
+from repro.ckpt.recast import recast_checkpoint, recast_latest
 from repro.ckpt.state import capture_run_state, restore_run_state
 from repro.exceptions import CheckpointError, CheckpointMismatchError
 
@@ -44,5 +45,7 @@ __all__ = [
     "unpack_tree",
     "read_checkpoint",
     "read_manifest",
+    "recast_checkpoint",
+    "recast_latest",
     "write_checkpoint",
 ]

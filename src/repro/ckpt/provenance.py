@@ -23,7 +23,12 @@ from dataclasses import fields
 
 import repro
 
-# Config fields that cannot change the numbers a run produces.
+# Config fields that cannot change the numbers a run produces.  The
+# scale-out knobs qualify by the bit-identity contracts of PR 7:
+# history_mode/stream_dir only change how records are stored,
+# state_sharding/state_cap/state_dir only change the delta-table layout
+# (sharded == dense bit for bit), while `sampler` and `dispatch_cap`
+# change which cohorts/updates exist and therefore stay hashed.
 _EXECUTION_ONLY_FIELDS = frozenset(
     {
         "num_workers",
@@ -33,6 +38,11 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "checkpoint_every",
         "checkpoint_keep",
         "resume",
+        "history_mode",
+        "stream_dir",
+        "state_sharding",
+        "state_cap",
+        "state_dir",
     }
 )
 

@@ -27,7 +27,7 @@ import numpy as np
 from repro.ckpt.format import pack_tree, unpack_tree
 from repro.ckpt.provenance import check_resume_compatible, run_provenance
 from repro.exceptions import CheckpointError
-from repro.fl.metrics import History
+from repro.fl.metrics import History, StreamingHistory
 
 SECTION_MODEL = "model"
 SECTION_ALGORITHM = "algorithm"
@@ -75,12 +75,16 @@ def capture_run_state(
         "rounds_total": int(config.rounds),
         "provenance": run_provenance(config, algorithm.name),
     }
+    # Streaming histories checkpoint their O(1) summary instead of the
+    # full record list (checkpoint_dict); appending histories keep the
+    # historical full to_dict form.
+    history_dict_fn = getattr(history, "checkpoint_dict", history.to_dict)
     sections: dict[str, bytes] = {
         SECTION_MODEL: pack_tree({"global_params": algorithm.global_params}),
         SECTION_ALGORITHM: pack_tree(algorithm.checkpoint_state()),
         SECTION_RNG: pack_tree({"round_rng": rng_state(round_rng)}),
         SECTION_LEDGER: pack_tree(algorithm.ledger.state_dict()),
-        SECTION_HISTORY: pack_tree(history.to_dict()),
+        SECTION_HISTORY: pack_tree(history_dict_fn()),
     }
     if algorithm.fault_model is not None:
         sections[SECTION_FAULTS] = pack_tree(algorithm.fault_model.state_dict())
@@ -142,10 +146,32 @@ def restore_run_state(
     assert algorithm.ledger is not None
     algorithm.ledger.load_state_dict(unpack_tree(sections[SECTION_LEDGER]))
 
-    restored_history = History.from_dict(unpack_tree(sections[SECTION_HISTORY]))
-    history.records = restored_history.records
-    history.final_accuracy = restored_history.final_accuracy
-    history.per_client_accuracy = restored_history.per_client_accuracy
+    history_data = unpack_tree(sections[SECTION_HISTORY])
+    stored_stream = history_data.get("mode") == "stream"
+    live_stream = isinstance(history, StreamingHistory)
+    if stored_stream and not live_stream:
+        raise CheckpointError(
+            "checkpoint carries a streaming history summary (no records); "
+            "resume with history_mode='stream' or start over"
+        )
+    if live_stream:
+        history.final_accuracy = history_data.get("final_accuracy")
+        if history_data.get("per_client_accuracy") is not None:
+            history.per_client_accuracy = np.array(
+                history_data["per_client_accuracy"]
+            )
+        if stored_stream:
+            history.restore_summary(history_data["summary"])
+        else:
+            # Append-mode checkpoint resumed under streaming: re-fold
+            # the full record list into the O(1) summary.
+            history.fold_records(History.from_dict(history_data).records)
+        history.truncate_spool(int(meta["round_idx"]))
+    else:
+        restored_history = History.from_dict(history_data)
+        history.records = restored_history.records
+        history.final_accuracy = restored_history.final_accuracy
+        history.per_client_accuracy = restored_history.per_client_accuracy
 
     if SECTION_FAULTS in sections:
         if algorithm.fault_model is None:

@@ -52,6 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--model", default=None,
                      help="model name (default: mlp for images, lstm for sequences)")
     run.add_argument("--clients", type=int, default=10)
+    run.add_argument("--population", type=int, default=None, metavar="N",
+                     help="virtual (lazy) population size for cross-device "
+                          "scale-out; clients materialize on demand, so N can "
+                          "be in the millions (synth_mnist only; overrides "
+                          "--clients)")
+    run.add_argument("--max-live", type=int, default=256, metavar="K",
+                     help="resident-shard LRU bound for --population runs")
     run.add_argument("--similarity", type=float, default=0.0,
                      help="similarity s in [0,1] for image datasets")
     run.add_argument("--iid", action="store_true",
@@ -101,6 +108,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="A",
                      help="async: stale updates are discounted by (1+s)^-A "
                           "(0 disables the discount)")
+    run.add_argument("--sampler", default="uniform",
+                     help="cohort sampler: uniform (historical stream) | "
+                          "reservoir | stratified[:k] — the latter two never "
+                          "enumerate the population")
+    run.add_argument("--history-mode", default="append",
+                     help="round history: append (full record list) or stream "
+                          "(O(1) running summaries)")
+    run.add_argument("--stream-dir", default=None, metavar="DIR",
+                     help="spool streamed history/ledger records as JSONL "
+                          "under DIR (requires --history-mode stream)")
+    run.add_argument("--state-sharding", default="auto",
+                     help="rFedAvg delta-table layout: auto | dense | sharded "
+                          "(lazily allocated per reporting client)")
+    run.add_argument("--state-cap", type=int, default=None, metavar="R",
+                     help="sharded state: spill least-recently-used rows to "
+                          "disk past R resident rows")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -164,6 +187,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _build_federation(args):
+    if args.population is not None:
+        if args.dataset != "synth_mnist":
+            raise SystemExit(
+                "--population builds a procedural virtual population and "
+                "supports synth_mnist only"
+            )
+        from repro.experiments.presets import build_virtual_federation
+
+        return build_virtual_federation(
+            args.population,
+            similarity=1.0 if args.iid else args.similarity,
+            max_live=args.max_live,
+            seed=args.seed,
+        )
     if args.dataset in ("synth_mnist", "synth_cifar"):
         similarity = 1.0 if args.iid else args.similarity
         return build_image_federation(
@@ -239,6 +276,11 @@ def _command_run(args) -> int:
         runtime=args.runtime,
         buffer_size=args.buffer_size,
         staleness_exponent=args.staleness_exponent,
+        sampler=args.sampler,
+        history_mode=args.history_mode,
+        stream_dir=args.stream_dir,
+        state_sharding=args.state_sharding,
+        state_cap=args.state_cap,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,

@@ -5,9 +5,25 @@ phi(x_{k,j})``.  :class:`DeltaTable` is the server-side store: it tracks
 which clients have reported at least once (so the regularizer can stay
 inactive until real statistics exist), computes the leave-one-out
 averages rFedAvg+ broadcasts, and accounts payload sizes for Table III.
+
+:class:`ShardedDeltaTable` is the cross-device variant of the same
+store: rows are allocated lazily the first time a client reports (a
+1M-client population with 100-client cohorts holds cohort-scale rows,
+not N), and past a configurable resident cap least-recently-used rows
+spill to an on-disk :class:`DeltaSpillStore`.  Every statistic is
+computed over reported rows *in ascending client-id order*, exactly the
+order the dense table's boolean-mask indexing produces, so the two
+layouts are bit-identical and the layout knob
+(``FLConfig.state_sharding``) is execution-only.
 """
 
 from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -87,6 +103,49 @@ class DeltaTable:
         """The full (N, d) table — what rFedAvg broadcasts to every client."""
         return self._table.copy()
 
+    def reported_ids(self) -> np.ndarray:
+        """Ids of clients that have reported, ascending."""
+        return np.flatnonzero(self._reported).astype(np.int64)
+
+    def reported_rows_except(self, client: int) -> np.ndarray | None:
+        """Reported delta rows of every client but ``client``, in
+        ascending client-id order; None when nobody else has reported."""
+        mask = self._reported.copy()
+        mask[client] = False
+        if not mask.any():
+            return None
+        return self._table[mask]
+
+    # -- worker-state / checkpoint segments ---------------------------------------
+    def worker_segments(self) -> dict[str, np.ndarray]:
+        """Named arrays to broadcast with the per-round worker state."""
+        return {"delta_table": self._table, "delta_reported": self._reported}
+
+    def install_worker_segments(self, segments: dict) -> None:
+        self.install_views(segments["delta_table"], segments["delta_reported"])
+
+    def checkpoint_segments(self) -> dict[str, np.ndarray]:
+        """Layout-independent sparse snapshot (reported rows only)."""
+        ids = self.reported_ids()
+        return {
+            "delta_ids": ids,
+            "delta_rows": self._table[ids].copy(),
+            "delta_reported": self._reported.copy(),
+        }
+
+    def restore_checkpoint_segments(self, segments: dict) -> None:
+        """Restore either the sparse snapshot or the pre-sharding dense
+        form (``delta_table``/``delta_reported``)."""
+        if "delta_table" in segments:
+            np.copyto(self._table, segments["delta_table"])
+            np.copyto(self._reported, segments["delta_reported"])
+            return
+        self._table[:] = 0.0
+        ids = np.asarray(segments["delta_ids"], dtype=np.int64)
+        if len(ids):
+            self._table[ids] = np.asarray(segments["delta_rows"], dtype=np.float64)
+        np.copyto(self._reported, segments["delta_reported"])
+
     def mean_of_others(self, client: int) -> np.ndarray:
         """Leave-one-out average over *reported* clients other than ``client``.
 
@@ -141,6 +200,277 @@ class DeltaTable:
 
     def per_client_state_bytes(self, plus: bool) -> int:
         """Size of the delta state one client must hold (Table III rows)."""
+        if plus:
+            return self.dim * self.dtype_bytes
+        return self.num_clients * self.dim * self.dtype_bytes
+
+
+class DeltaSpillStore:
+    """Append-only on-disk store of per-client delta rows.
+
+    Backs :class:`ShardedDeltaTable` past its resident cap.  Rows are
+    raw float64 bytes appended to one file; re-reporting a client
+    appends a fresh row and repoints its offset (the dead bytes are
+    bounded by total reports, which is cohort x rounds — negligible
+    next to the dense table it replaces).  The file lives in
+    ``directory`` when given, else in a self-cleaning temporary
+    directory.
+    """
+
+    def __init__(self, dim: int, directory: str | None = None) -> None:
+        self.dim = dim
+        self._row_bytes = dim * 8
+        if directory is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-delta-spill-")
+            self._owns_dir = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._dir = str(directory)
+            self._owns_dir = False
+        self.path = os.path.join(self._dir, "delta-rows.bin")
+        self._handle = open(self.path, "w+b")
+        self._offsets: dict[int, int] = {}
+        self._end = 0
+        if self._owns_dir:
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, ignore_errors=True
+            )
+        else:
+            self._finalizer = weakref.finalize(self, self._handle.close)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, client: int) -> bool:
+        return client in self._offsets
+
+    def put(self, client: int, row: np.ndarray) -> None:
+        data = np.ascontiguousarray(row, dtype=np.float64).tobytes()
+        self._handle.seek(self._end)
+        self._handle.write(data)
+        self._offsets[client] = self._end
+        self._end += self._row_bytes
+
+    def get(self, client: int) -> np.ndarray:
+        offset = self._offsets[client]
+        self._handle.seek(offset)
+        data = self._handle.read(self._row_bytes)
+        return np.frombuffer(data, dtype=np.float64).copy()
+
+    def pop(self, client: int) -> np.ndarray:
+        row = self.get(client)
+        del self._offsets[client]
+        return row
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+class ShardedDeltaTable:
+    """Server-side delta store with lazily allocated, spillable rows.
+
+    Drop-in replacement for :class:`DeltaTable` (same statistics, same
+    payload accounting) whose memory scales with the number of clients
+    that ever *reported*, not the population: only the O(N) pieces are
+    one boolean reported mask (1 MB at a million clients) and the
+    transient dense view :meth:`full_table` builds on request.  With
+    ``max_resident`` set, least-recently-used rows beyond the cap move
+    to a :class:`DeltaSpillStore` (created lazily) and are read back on
+    demand — spilling never changes any statistic.
+
+    Bit-identity with the dense table: every aggregate iterates
+    reported rows in ascending client-id order, which is exactly the
+    order dense boolean-mask indexing yields, and accumulates through
+    the same numpy reductions on a stacked (R, d) float64 array.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        dim: int,
+        dtype_bytes: int | None = None,
+        max_resident: int | None = None,
+        spill_dir: str | None = None,
+    ) -> None:
+        if num_clients <= 0 or dim <= 0:
+            raise ProtocolError("num_clients and dim must be positive")
+        if max_resident is not None and max_resident < 1:
+            raise ProtocolError(f"max_resident must be >= 1, got {max_resident}")
+        self.num_clients = num_clients
+        self.dim = dim
+        self.dtype_bytes = (
+            int(dtype_bytes) if dtype_bytes is not None else get_default_dtype().itemsize
+        )
+        self.max_resident = max_resident
+        self.spill_dir = spill_dir
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._spill: DeltaSpillStore | None = None
+        self._reported = np.zeros(num_clients, dtype=bool)
+        self.spilled_rows = 0  # lifetime spill writes (obs counter fodder)
+
+    # -- updates ---------------------------------------------------------------
+    def update(self, client: int, delta: np.ndarray) -> None:
+        """Store client's freshly computed mean embedding."""
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.shape != (self.dim,):
+            raise ProtocolError(f"delta shape {delta.shape} != ({self.dim},)")
+        if self._spill is not None and client in self._spill:
+            self._spill.pop(client)
+        self._rows[client] = delta.copy()
+        self._rows.move_to_end(client)
+        self._reported[client] = True
+        self._enforce_cap()
+
+    def _enforce_cap(self) -> None:
+        if self.max_resident is None:
+            return
+        while len(self._rows) > self.max_resident:
+            victim, row = self._rows.popitem(last=False)
+            if self._spill is None:
+                self._spill = DeltaSpillStore(self.dim, self.spill_dir)
+            self._spill.put(victim, row)
+            self.spilled_rows += 1
+
+    def _row(self, client: int) -> np.ndarray:
+        """One reported client's row (resident or spilled)."""
+        row = self._rows.get(client)
+        if row is not None:
+            return row
+        assert self._spill is not None
+        return self._spill.get(client)
+
+    # -- reads -----------------------------------------------------------------
+    @property
+    def reported_mask(self) -> np.ndarray:
+        return self._reported.copy()
+
+    @property
+    def any_reported(self) -> bool:
+        return bool(self._reported.any())
+
+    @property
+    def all_reported(self) -> bool:
+        return bool(self._reported.all())
+
+    @property
+    def resident_rows(self) -> int:
+        return len(self._rows)
+
+    def reported_ids(self) -> np.ndarray:
+        return np.flatnonzero(self._reported).astype(np.int64)
+
+    def get(self, client: int) -> np.ndarray:
+        if not self._reported[client]:
+            return np.zeros(self.dim)
+        return self._row(client).copy()
+
+    def rows_for(self, ids: np.ndarray) -> np.ndarray:
+        """Stacked (len(ids), d) rows in the given id order."""
+        out = np.empty((len(ids), self.dim), dtype=np.float64)
+        for i, client in enumerate(ids):
+            out[i] = self._row(int(client))
+        return out
+
+    def full_table(self) -> np.ndarray:
+        """Dense (N, d) materialization — O(N) memory, kept for the
+        rFedAvg full-table broadcast semantics and debugging; scale-out
+        paths use :meth:`reported_rows_except` instead."""
+        table = np.zeros((self.num_clients, self.dim), dtype=np.float64)
+        ids = self.reported_ids()
+        if len(ids):
+            table[ids] = self.rows_for(ids)
+        return table
+
+    def reported_rows_except(self, client: int) -> np.ndarray | None:
+        ids = self.reported_ids()
+        ids = ids[ids != client]
+        if not len(ids):
+            return None
+        return self.rows_for(ids)
+
+    def mean_of_others(self, client: int) -> np.ndarray:
+        others = self.reported_rows_except(client)
+        if others is None:
+            if self._reported[client]:
+                return self._row(client).copy()
+            return np.zeros(self.dim)
+        return others.mean(axis=0)
+
+    def pairwise_mean_sq_distance(self, client: int) -> float:
+        others = self.reported_rows_except(client)
+        if others is None:
+            return 0.0
+        own = self._row(client) if self._reported[client] else np.zeros(self.dim)
+        gaps = others - own
+        return float((gaps * gaps).sum(axis=1).mean())
+
+    def delta_inconsistency(self) -> float:
+        ids = self.reported_ids()
+        if not len(ids):
+            return 0.0
+        reported = self.rows_for(ids)
+        center = reported.mean(axis=0)
+        return float(np.linalg.norm(reported - center, axis=1).mean())
+
+    # -- worker-state / checkpoint segments ---------------------------------------
+    def worker_segments(self) -> dict[str, np.ndarray]:
+        ids = self.reported_ids()
+        return {
+            "delta_ids": ids,
+            "delta_rows": self.rows_for(ids),
+            "delta_reported": self._reported,
+        }
+
+    def install_worker_segments(self, segments: dict) -> None:
+        """Adopt a broadcast sparse snapshot in a worker process.
+
+        Workers only read the table, so the rows live resident without
+        a cap (a worker sees one cohort's worth of broadcast state)."""
+        ids = np.asarray(segments["delta_ids"], dtype=np.int64)
+        rows = np.asarray(segments["delta_rows"], dtype=np.float64)
+        self._rows = OrderedDict(
+            (int(client), rows[i]) for i, client in enumerate(ids)
+        )
+        self._spill = None
+        self._reported = np.asarray(segments["delta_reported"], dtype=bool)
+
+    def checkpoint_segments(self) -> dict[str, np.ndarray]:
+        ids = self.reported_ids()
+        return {
+            "delta_ids": ids,
+            "delta_rows": self.rows_for(ids),
+            "delta_reported": self._reported.copy(),
+        }
+
+    def restore_checkpoint_segments(self, segments: dict) -> None:
+        """Restore a sparse snapshot, or a pre-sharding dense one (the
+        layout knob is execution-only, so cross-layout resume is legal)."""
+        if "delta_table" in segments:
+            reported = np.asarray(segments["delta_reported"], dtype=bool)
+            ids = np.flatnonzero(reported).astype(np.int64)
+            rows = np.asarray(segments["delta_table"], dtype=np.float64)[ids]
+        else:
+            reported = np.asarray(segments["delta_reported"], dtype=bool)
+            ids = np.asarray(segments["delta_ids"], dtype=np.int64)
+            rows = np.asarray(segments["delta_rows"], dtype=np.float64)
+        self._rows = OrderedDict()
+        self._spill = None
+        np.copyto(self._reported, reported)
+        for i, client in enumerate(ids):
+            self._rows[int(client)] = rows[i].copy()
+        self._enforce_cap()
+
+    # -- payload accounting (Table III) -----------------------------------------
+    def broadcast_bytes_rfedavg(self) -> int:
+        return self.num_clients * self.num_clients * self.dim * self.dtype_bytes
+
+    def broadcast_bytes_rfedavg_plus(self) -> int:
+        return self.num_clients * self.dim * self.dtype_bytes
+
+    def upload_bytes(self) -> int:
+        return self.num_clients * self.dim * self.dtype_bytes
+
+    def per_client_state_bytes(self, plus: bool) -> int:
         if plus:
             return self.dim * self.dtype_bytes
         return self.num_clients * self.dim * self.dtype_bytes

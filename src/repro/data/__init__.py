@@ -16,6 +16,11 @@ properties the paper's evaluation depends on (see DESIGN.md section 2):
 Partitioners in :mod:`repro.data.partition` implement the paper's
 similarity-s% split (s% IID + label-sorted shards), Dirichlet label
 skew, quantity skew, and natural by-user partitioning.
+
+For cross-device scale, :mod:`repro.data.virtual` turns a population
+into a recipe: :class:`VirtualFederatedDataset` materializes client
+shards on demand from per-client seeded streams, so a million-client
+population costs the memory of a cohort (see docs/scale.md).
 """
 
 from repro.data.dataset import ArrayDataset, DatasetSpec, FederatedDataset
@@ -28,6 +33,13 @@ from repro.data.partition import (
     iid_partition,
 )
 from repro.data.synth_mnist import make_synth_mnist
+from repro.data.virtual import (
+    VirtualPartition,
+    VirtualClientSet,
+    VirtualFederatedDataset,
+    make_virtual_federation,
+    materialize_client,
+)
 from repro.data.synth_cifar import make_synth_cifar
 from repro.data.synth_sent140 import make_synth_sent140
 from repro.data.synth_femnist import make_synth_femnist
@@ -49,6 +61,11 @@ __all__ = [
     "shard_partition",
     "iid_partition",
     "make_synth_mnist",
+    "VirtualPartition",
+    "VirtualClientSet",
+    "VirtualFederatedDataset",
+    "make_virtual_federation",
+    "materialize_client",
     "make_synth_cifar",
     "make_synth_sent140",
     "make_synth_femnist",

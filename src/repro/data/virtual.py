@@ -1,0 +1,325 @@
+"""Virtual (lazy) federated populations for cross-device scale-out.
+
+The paper's cross-device setting samples a ~100-client cohort from a
+population that can be millions strong.  Because every dataset in
+``repro.data`` is procedural, a client does not need to *exist* as an
+array to be trainable — it only needs a recipe.  This module makes the
+recipe first-class:
+
+- :class:`VirtualPartition` is the ``(seed, partition-spec)`` handle: a
+  frozen description of the whole population (dataset family, label
+  skew, per-client sizes) from which any single client's shard can be
+  rendered independently via :func:`materialize_client`.
+- :class:`VirtualClientSet` is a lazy sequence of
+  :class:`~repro.data.dataset.ArrayDataset` shards: ``clients[k]``
+  materializes client ``k`` on demand and keeps at most ``max_live``
+  shards resident (LRU), so a million-client population costs the
+  memory of a cohort, not a census.
+- :class:`VirtualFederatedDataset` duck-types
+  :class:`~repro.data.dataset.FederatedDataset` (``clients`` /
+  ``test`` / ``num_clients`` / ``client_sizes`` / ``weights``) so the
+  trainer, the executors and every algorithm run unchanged on top of a
+  virtual population.
+
+Bit-identity contract: ``virtual.materialize()`` returns an eager
+``FederatedDataset`` whose client shards are byte-for-byte the arrays
+the lazy path would render, because both call the same
+:func:`materialize_client` with the same per-client RNG stream
+``[seed, _TAG_CLIENT, client_id]``.  A run over the virtual population
+therefore produces bit-identical results to the same run over its
+eager materialization (``tests/fl/test_scale_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DatasetSpec, FederatedDataset
+from repro.data.glyphs import GlyphStyle, render_glyph
+from repro.data.synth_mnist import DIGITS
+from repro.exceptions import DataError
+
+# RNG stream tags: every virtual draw derives from [seed, tag, ...] so
+# streams never collide with each other or with the trainer's
+# [seed, round, client, ...] keys.
+_TAG_CLIENT = 0xD7C1
+_TAG_TEST = 0xD7E5
+_TAG_SIZES = 0xD751
+
+
+@dataclass(frozen=True)
+class VirtualPartition:
+    """Recipe for a procedurally generated federated population.
+
+    Attributes:
+        population: number of virtual clients N (any size; nothing here
+            is O(N) except one int64 size vector).
+        seed: master seed; every client's shard derives from
+            ``[seed, tag, client_id]`` and nothing else, so shards can
+            be rendered in any order, in any process, with identical
+            bytes.
+        dataset: procedural dataset family ('synth_mnist').
+        samples_per_client: base shard size n_k (exact when
+            ``size_sigma == 0``).
+        similarity: the paper's s% knob — each sample is drawn IID
+            uniform over labels with probability ``similarity``, and
+            from the client's home label otherwise (0.0 = fully
+            non-IID label skew, 1.0 = IID).
+        image_size: glyph canvas side.
+        noise: per-pixel render noise.
+        size_sigma: lognormal quantity skew over shard sizes
+            (0.0 = uniform ``samples_per_client`` everywhere).
+        min_samples: shard-size floor under quantity skew.
+        num_test: size of the eagerly rendered global test set.
+    """
+
+    population: int
+    seed: int = 0
+    dataset: str = "synth_mnist"
+    samples_per_client: int = 20
+    similarity: float = 0.0
+    image_size: int = 12
+    noise: float = 0.1
+    size_sigma: float = 0.0
+    min_samples: int = 4
+    num_test: int = 256
+
+    def __post_init__(self) -> None:
+        if self.population <= 0:
+            raise DataError("population must be positive")
+        if self.dataset != "synth_mnist":
+            raise DataError(
+                f"unknown virtual dataset {self.dataset!r}; only procedural "
+                "families can back a virtual population ('synth_mnist')"
+            )
+        if not 0.0 <= self.similarity <= 1.0:
+            raise DataError("similarity must be in [0, 1]")
+        if self.samples_per_client < 1:
+            raise DataError("samples_per_client must be >= 1")
+        if self.min_samples < 1:
+            raise DataError("min_samples must be >= 1")
+        if self.size_sigma < 0:
+            raise DataError("size_sigma must be non-negative")
+        if self.image_size < 9:
+            raise DataError("image_size must be at least 9 to fit a glyph")
+
+    @property
+    def num_classes(self) -> int:
+        return 10
+
+    def dataset_spec(self) -> DatasetSpec:
+        return DatasetSpec(
+            name=self.dataset,
+            kind="image",
+            input_shape=(1, self.image_size, self.image_size),
+            num_classes=self.num_classes,
+        )
+
+    def home_label(self, client_id: int) -> int:
+        """The client's skewed label: contiguous id blocks share a label,
+        so id-range strata align with label strata."""
+        return (client_id * self.num_classes) // self.population
+
+    def client_sizes(self) -> np.ndarray:
+        """All N shard sizes as one vectorized draw (int64, O(N) but
+        flat — 8 MB at a million clients)."""
+        if self.size_sigma == 0.0:
+            return np.full(self.population, self.samples_per_client, dtype=np.int64)
+        rng = np.random.default_rng([self.seed, _TAG_SIZES])
+        raw = rng.lognormal(mean=0.0, sigma=self.size_sigma, size=self.population)
+        sizes = np.round(self.samples_per_client * raw).astype(np.int64)
+        return np.maximum(sizes, self.min_samples)
+
+
+def materialize_client(
+    partition: VirtualPartition, client_id: int, size: int
+) -> ArrayDataset:
+    """Render client ``client_id``'s shard from its own RNG stream.
+
+    Pure function of ``(partition, client_id, size)`` — the lazy path,
+    the eager :meth:`VirtualPartition <VirtualFederatedDataset.materialize>`
+    path, and forked worker processes all produce identical bytes.
+    """
+    if not 0 <= client_id < partition.population:
+        raise DataError(
+            f"client_id {client_id} out of range for population {partition.population}"
+        )
+    rng = np.random.default_rng([partition.seed, _TAG_CLIENT, client_id])
+    coins = rng.random(size)
+    iid_labels = rng.integers(0, partition.num_classes, size=size)
+    labels = np.where(
+        coins < partition.similarity, iid_labels, partition.home_label(client_id)
+    ).astype(np.int64)
+    images = np.zeros((size, 1, partition.image_size, partition.image_size))
+    for i, label in enumerate(labels):
+        style = GlyphStyle(
+            shear=float(rng.uniform(-0.15, 0.15)),
+            thickness=int(rng.integers(0, 2)),
+            scale=1,
+            intensity=float(rng.uniform(0.75, 1.0)),
+            noise=partition.noise,
+        )
+        images[i, 0] = render_glyph(
+            DIGITS[label], partition.image_size, style, rng, jitter=1
+        )
+    return ArrayDataset(images, labels)
+
+
+def materialize_test(partition: VirtualPartition) -> ArrayDataset:
+    """The (small, eager) global test set: IID over all labels."""
+    rng = np.random.default_rng([partition.seed, _TAG_TEST])
+    labels = rng.integers(0, partition.num_classes, size=partition.num_test)
+    images = np.zeros((partition.num_test, 1, partition.image_size, partition.image_size))
+    for i, label in enumerate(labels):
+        style = GlyphStyle(
+            shear=float(rng.uniform(-0.15, 0.15)),
+            thickness=int(rng.integers(0, 2)),
+            scale=1,
+            intensity=float(rng.uniform(0.75, 1.0)),
+            noise=partition.noise,
+        )
+        images[i, 0] = render_glyph(
+            DIGITS[label], partition.image_size, style, rng, jitter=1
+        )
+    return ArrayDataset(images, labels)
+
+
+class VirtualClientSet:
+    """Lazy sequence of client shards with a bounded LRU of live ones.
+
+    ``clients[k]`` renders client ``k`` on first touch and caches the
+    shard; at most ``max_live`` shards stay resident, evicted least
+    recently used.  Eviction only ever forces a re-render — the shard's
+    bytes are a pure function of ``(partition, k)``, so lazy and eager
+    access are bit-identical for any ``max_live``.
+    """
+
+    def __init__(
+        self, partition: VirtualPartition, sizes: np.ndarray, max_live: int = 256
+    ) -> None:
+        if max_live < 1:
+            raise DataError(f"max_live must be >= 1, got {max_live}")
+        self.partition = partition
+        self._sizes = sizes
+        self.max_live = max_live
+        self._live: OrderedDict[int, ArrayDataset] = OrderedDict()
+        self.materializations = 0
+
+    def __len__(self) -> int:
+        return self.partition.population
+
+    def __getitem__(self, client_id: int) -> ArrayDataset:
+        client_id = int(client_id)
+        shard = self._live.get(client_id)
+        if shard is not None:
+            self._live.move_to_end(client_id)
+            return shard
+        shard = materialize_client(
+            self.partition, client_id, int(self._sizes[client_id])
+        )
+        self.materializations += 1
+        self._live[client_id] = shard
+        while len(self._live) > self.max_live:
+            self._live.popitem(last=False)
+        return shard
+
+    def __iter__(self):
+        # Iteration materializes every client (through the LRU) — fine
+        # for small populations and opt-in full-population evaluation;
+        # cohort-based code paths never iterate.
+        for client_id in range(len(self)):
+            yield self[client_id]
+
+    @property
+    def live_clients(self) -> int:
+        """Number of currently materialized shards (bounded by max_live)."""
+        return len(self._live)
+
+    def release(self) -> None:
+        """Drop every live shard (e.g. at a round boundary)."""
+        self._live.clear()
+
+
+class VirtualFederatedDataset:
+    """A federated dataset whose clients are recipes, not arrays.
+
+    Duck-types :class:`~repro.data.dataset.FederatedDataset`: the
+    trainer, samplers, executors and algorithms only use ``clients[k]``,
+    ``test``, ``num_clients``, ``client_sizes``, ``weights`` and
+    ``total_train_samples()``, all of which work here without ever
+    materializing the population.  ``virtual`` is True so scale-aware
+    code (sharded delta tables, round-boundary shard release, RSS
+    gauges) can detect it with ``getattr(fed, "virtual", False)``.
+    """
+
+    virtual = True
+
+    def __init__(self, partition: VirtualPartition, max_live: int = 256) -> None:
+        self.partition = partition
+        self.spec = partition.dataset_spec()
+        self._sizes = partition.client_sizes()
+        self.clients = VirtualClientSet(partition, self._sizes, max_live=max_live)
+        self.test = materialize_test(partition)
+        self.client_test: list[ArrayDataset] = []
+
+    @property
+    def num_clients(self) -> int:
+        return self.partition.population
+
+    @property
+    def client_sizes(self) -> np.ndarray:
+        return self._sizes
+
+    @property
+    def weights(self) -> np.ndarray:
+        sizes = self._sizes.astype(np.float64)
+        return sizes / sizes.sum()
+
+    def total_train_samples(self) -> int:
+        return int(self._sizes.sum())
+
+    def release(self) -> None:
+        self.clients.release()
+
+    def materialize(self) -> FederatedDataset:
+        """The eager equivalent: every shard rendered up front.
+
+        This is the bit-identity reference — only sensible for small
+        populations (tests, benchmark gates).
+        """
+        shards = [
+            materialize_client(self.partition, k, int(self._sizes[k]))
+            for k in range(self.partition.population)
+        ]
+        return FederatedDataset(
+            spec=self.spec, clients=shards, test=self.test, client_test=[]
+        )
+
+
+def make_virtual_federation(
+    population: int,
+    *,
+    seed: int = 0,
+    similarity: float = 0.0,
+    samples_per_client: int = 20,
+    image_size: int = 12,
+    noise: float = 0.1,
+    size_sigma: float = 0.0,
+    num_test: int = 256,
+    max_live: int = 256,
+) -> VirtualFederatedDataset:
+    """Convenience builder for a virtual synthetic-MNIST population."""
+    partition = VirtualPartition(
+        population=population,
+        seed=seed,
+        similarity=similarity,
+        samples_per_client=samples_per_client,
+        image_size=image_size,
+        noise=noise,
+        size_sigma=size_sigma,
+        num_test=num_test,
+    )
+    return VirtualFederatedDataset(partition, max_live=max_live)

@@ -5,6 +5,7 @@ from repro.experiments.presets import (
     build_sent140_federation,
     build_femnist_federation,
     build_feature_skew_federation,
+    build_virtual_federation,
     default_model_fn,
     cross_silo_config,
     cross_device_config,
@@ -26,6 +27,7 @@ __all__ = [
     "build_sent140_federation",
     "build_femnist_federation",
     "build_feature_skew_federation",
+    "build_virtual_federation",
     "default_model_fn",
     "cross_silo_config",
     "cross_device_config",

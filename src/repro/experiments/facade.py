@@ -31,6 +31,7 @@ from repro.experiments.presets import (
     build_femnist_federation,
     build_image_federation,
     build_sent140_federation,
+    build_virtual_federation,
     cross_device_config,
     cross_silo_config,
     default_model_fn,
@@ -59,6 +60,8 @@ class RunPreset:
     num_train: int = 2000
     num_test: int = 400
     scenario: str = "cross_silo"  # 'cross_silo' | 'cross_device'
+    population: int | None = None  # virtual (lazy) population size; overrides clients
+    max_live: int = 256  # resident-shard LRU bound for virtual populations
     config: dict = field(default_factory=dict)
 
 
@@ -91,6 +94,18 @@ RUN_PRESETS: dict[str, RunPreset] = {
             scale=0.25,
             config=dict(rounds=20, batch_size=16, optimizer="rmsprop", lr=0.01,
                         eval_every=5),
+        ),
+        RunPreset(
+            "device-scale",
+            "Cross-device scale-out: 100k virtual clients, 100-client cohorts, "
+            "streaming ledgers (see docs/scale.md)",
+            dataset="synth_mnist",
+            algorithm="fedavg",
+            population=100_000,
+            scenario="cross_device",
+            config=dict(rounds=10, local_steps=2, sample_ratio=0.001,
+                        eval_every=5, sampler="reservoir",
+                        history_mode="stream"),
         ),
         RunPreset(
             "femnist-device",
@@ -146,6 +161,19 @@ def _resolve(name: str, overrides: dict | None) -> tuple[RunPreset, dict, dict]:
 
 
 def _build_federation(preset: RunPreset, seed: int) -> FederatedDataset:
+    if preset.population is not None:
+        if preset.dataset != "synth_mnist":
+            raise ConfigError(
+                "virtual populations are procedural and currently back "
+                f"'synth_mnist' only, not {preset.dataset!r}"
+            )
+        return build_virtual_federation(
+            preset.population,
+            similarity=preset.similarity,
+            num_test=preset.num_test,
+            max_live=preset.max_live,
+            seed=seed,
+        )
     if preset.dataset in ("synth_mnist", "synth_cifar"):
         return build_image_federation(
             preset.dataset,

@@ -136,6 +136,38 @@ def build_femnist_federation(
     return FederatedDataset(spec=spec, clients=clients, test=test)
 
 
+def build_virtual_federation(
+    population: int,
+    similarity: float = 0.0,
+    samples_per_client: int = 20,
+    image_size: int = 12,
+    size_sigma: float = 0.0,
+    num_test: int = 256,
+    max_live: int = 256,
+    seed: int = 0,
+):
+    """A lazy synth-MNIST population for cross-device scale-out.
+
+    Clients are ``(seed, partition-spec)`` recipes materialized on
+    demand (:mod:`repro.data.virtual`), so ``population`` can be in the
+    millions: resident memory is bounded by ``max_live`` shards, not N.
+    Pair with ``sampler='reservoir'`` and ``history_mode='stream'`` to
+    keep the whole run O(cohort) — see docs/scale.md.
+    """
+    from repro.data.virtual import make_virtual_federation
+
+    return make_virtual_federation(
+        population,
+        seed=seed,
+        similarity=similarity,
+        samples_per_client=samples_per_client,
+        image_size=image_size,
+        size_sigma=size_sigma,
+        num_test=num_test,
+        max_live=max_live,
+    )
+
+
 def build_feature_skew_federation(
     dataset: str = "synth_mnist",
     num_clients: int = 10,

@@ -63,14 +63,17 @@ from repro.fl.parallel import ClientUpdate
 from repro.fl.runtime import make_runtime
 from repro.fl.trainer import (
     RoundCallback,
+    build_history,
     eval_per_client_accuracy,
     make_client_loss,
+    release_round_state,
     resolve_round_callbacks,
     select_round_clients,
 )
 from repro.fl.client import evaluate_model
 from repro.models.split import SplitModel
 from repro.nn.serialization import set_flat_params
+from repro.obs.sysinfo import record_scale_gauges
 
 
 @dataclass
@@ -238,6 +241,15 @@ class _EventQueue:
         when, _seq, dispatch_round, base, update = heapq.heappop(self.heap)
         return when, dispatch_round, base, update
 
+    def inflight_clients(self) -> set[int]:
+        """Ids of clients with an undelivered update in the queue.
+
+        Derived from the heap contents, so a checkpoint-restored queue
+        reconstructs exactly the same set — the dispatch cap needs no
+        extra persisted state.
+        """
+        return {update.client_id for _, _, _, _, update in self.heap}
+
     # -- checkpointing -----------------------------------------------------------
     def state_tree(self) -> dict:
         return {
@@ -304,7 +316,7 @@ def run_async_federated_engine(
         config.seed,
     )
 
-    history = History(algorithm=algorithm.name)
+    history = build_history(algorithm.name, config)
     async_history = AsyncHistory()
     history.async_history = async_history
     queue = _EventQueue()
@@ -364,6 +376,26 @@ def run_async_federated_engine(
                 selected = select_round_clients(
                     round_idx, fed, config, round_rng, selector, client_loss
                 )
+            # Dispatch cap: a client whose previous update is still in
+            # flight is not re-dispatched — it is deferred, not dropped
+            # (its earlier update will still arrive and count).  Without
+            # this, a small buffer plus a long-tail runtime re-dispatches
+            # slow clients every round and the queue grows without
+            # bound.  Under zero latency the queue drains fully each
+            # round, the in-flight set is empty, and the filter is a
+            # no-op — bit-identity with the sync loop is untouched.
+            if getattr(config, "dispatch_cap", True) and len(queue):
+                inflight = queue.inflight_clients()
+                keep = np.array(
+                    [int(c) not in inflight for c in selected], dtype=bool
+                )
+                deferred = int(len(selected) - keep.sum())
+                if deferred:
+                    selected = selected[keep]
+                    if tracer.enabled:
+                        tracer.metrics.counter("async.deferred_dispatches").inc(
+                            deferred
+                        )
             # Same ordering as the sync trainer: the selection counter
             # sees the sampled cohort, fault dropout filters after.
             if tracer.enabled:
@@ -389,6 +421,10 @@ def run_async_federated_engine(
 
             # 2. Drain arrivals into the buffer.
             target = config.buffer_size or len(selected)
+            if not target and len(queue):
+                # Every cohort member was deferred: the round still
+                # consumes at least one arrival so the backlog drains.
+                target = 1
             deadline = (
                 clock + config.buffer_timeout
                 if config.buffer_timeout is not None
@@ -517,6 +553,8 @@ def run_async_federated_engine(
                         },
                     )
                     manager.save(round_idx, meta, sections)
+            record_scale_gauges(tracer, fed)
+        release_round_state(fed)
 
     # In-flight stragglers at the end of the round budget never land.
     async_history.discarded_updates += len(queue)

@@ -14,6 +14,9 @@ alongside its spans for free.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 
 from repro.nn.dtype import get_default_dtype
@@ -40,21 +43,40 @@ class CommLedger:
     charges 4 bytes per scalar, a float64 run 8 — while an explicit
     value stays an override (e.g. simulating float32 wire traffic from
     a float64 training run, as the paper's Table III does).
+
+    ``streaming=True`` switches per-round bookkeeping from an unbounded
+    ``_round_totals`` list to O(1) running accumulators (+ an optional
+    JSONL spool at ``stream_path``): totals and the rounds count stay
+    exact, while per-round series replay the spool (and raise a clear
+    error without one).  Streaming and appending ledgers observe
+    identical charges — the mode is execution-only.
     """
 
     DOWN = "down"
     UP = "up"
 
     def __init__(
-        self, dtype_bytes: int | None = None, metrics: MetricsRegistry | None = None
+        self,
+        dtype_bytes: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        streaming: bool = False,
+        stream_path: str | None = None,
     ) -> None:
         self.dtype_bytes = (
             int(dtype_bytes) if dtype_bytes is not None else get_default_dtype().itemsize
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.streaming = bool(streaming)
+        self.stream_path = stream_path
         self._round_totals: list[dict[str, int]] = []
+        self._rounds_closed = 0
+        self._totals_accum: dict[str, int] = {}
         self._counters: dict[str, Counter] = {}
         self._round_start: dict[str, int] = {}
+        if stream_path is not None and not streaming:
+            raise ValueError("stream_path requires streaming=True")
+        if stream_path is not None:
+            os.makedirs(os.path.dirname(stream_path) or ".", exist_ok=True)
         # Pre-create the direction totals so even an idle round reports
         # explicit up/down zeros.
         for direction in (self.DOWN, self.UP):
@@ -105,48 +127,119 @@ class CommLedger:
             if charged or key in (self.DOWN, self.UP):
                 totals[key] = charged
             self._round_start[key] = counter.value
-        self._round_totals.append(totals)
+        if self.streaming:
+            self._rounds_closed += 1
+            for key, charged in totals.items():
+                self._totals_accum[key] = self._totals_accum.get(key, 0) + charged
+            if self.stream_path is not None:
+                with open(self.stream_path, "a") as handle:
+                    handle.write(json.dumps(totals, sort_keys=True) + "\n")
+        else:
+            self._round_totals.append(totals)
         return totals
 
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
-        """Everything needed to resume this ledger bit-identically."""
-        return {
+        """Everything needed to resume this ledger bit-identically.
+
+        Appending ledgers carry the full per-round list (the historical
+        form); streaming ledgers carry only their O(1) accumulators."""
+        state = {
             "dtype_bytes": self.dtype_bytes,
-            "round_totals": [dict(r) for r in self._round_totals],
             "counters": {key: c.value for key, c in self._counters.items()},
         }
+        if self.streaming:
+            state["mode"] = "stream"
+            state["rounds"] = self._rounds_closed
+            state["totals"] = dict(self._totals_accum)
+        else:
+            state["round_totals"] = [dict(r) for r in self._round_totals]
+        return state
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot.
+        """Restore a :meth:`state_dict` snapshot (either form).
 
         Counter values are *set*, not incremented, so restoring into a
         registry shared with a tracer (whose own counters were restored
-        separately) cannot double-count.
+        separately) cannot double-count.  A streaming ledger accepts an
+        appending checkpoint by folding its rounds; the reverse needs
+        per-round data a stream checkpoint no longer has and raises.
         """
         if int(state["dtype_bytes"]) != self.dtype_bytes:
             raise ValueError(
                 f"ledger dtype_bytes mismatch: checkpoint has "
                 f"{state['dtype_bytes']}, this run uses {self.dtype_bytes}"
             )
-        self._round_totals = [dict(r) for r in state["round_totals"]]
+        stored_stream = state.get("mode") == "stream"
+        if self.streaming:
+            if stored_stream:
+                self._rounds_closed = int(state["rounds"])
+                self._totals_accum = {k: int(v) for k, v in state["totals"].items()}
+            else:
+                rounds = [dict(r) for r in state["round_totals"]]
+                self._rounds_closed = len(rounds)
+                self._totals_accum = {}
+                for totals in rounds:
+                    for key, charged in totals.items():
+                        self._totals_accum[key] = (
+                            self._totals_accum.get(key, 0) + charged
+                        )
+            self._truncate_spool(self._rounds_closed)
+        else:
+            if stored_stream:
+                raise ValueError(
+                    "checkpoint was written by a streaming ledger (summaries "
+                    "only); resume with history_mode='stream' or start over"
+                )
+            self._round_totals = [dict(r) for r in state["round_totals"]]
         for key, value in state["counters"].items():
             counter = self._counter(key)
             counter.value = value
             self._round_start[key] = counter.value
 
+    def _truncate_spool(self, rounds: int) -> None:
+        """Drop spooled lines past ``rounds`` (the spool can be ahead of
+        the newest checkpoint after a crash)."""
+        if self.stream_path is None or not os.path.exists(self.stream_path):
+            return
+        with open(self.stream_path) as handle:
+            lines = [line for line in handle if line.strip()]
+        with open(self.stream_path, "w") as handle:
+            handle.writelines(lines[:rounds])
+
     @property
     def rounds(self) -> int:
-        return len(self._round_totals)
+        return self._rounds_closed if self.streaming else len(self._round_totals)
+
+    def _spooled_rounds(self) -> list[dict[str, int]]:
+        if self.stream_path is None:
+            raise RuntimeError(
+                "this streaming CommLedger keeps totals only; per-round "
+                "series need a spool — set FLConfig.stream_dir or use the "
+                "appending ledger"
+            )
+        if not os.path.exists(self.stream_path):
+            return []
+        with open(self.stream_path) as handle:
+            return [json.loads(line) for line in handle if line.strip()]
 
     def round_bytes(self, round_idx: int) -> dict[str, int]:
+        if self.streaming:
+            return dict(self._spooled_rounds()[round_idx])
         return dict(self._round_totals[round_idx])
 
     def total(self, key: str | None = None) -> int:
         """Total bytes over all closed rounds (optionally one key)."""
+        if self.streaming:
+            if key is None:
+                return self._totals_accum.get(self.DOWN, 0) + self._totals_accum.get(
+                    self.UP, 0
+                )
+            return self._totals_accum.get(key, 0)
         if key is None:
             return sum(r[self.DOWN] + r[self.UP] for r in self._round_totals)
         return sum(r.get(key, 0) for r in self._round_totals)
 
     def per_round_series(self, key: str) -> np.ndarray:
-        return np.array([r.get(key, 0) for r in self._round_totals], dtype=np.int64)
+        rounds = self._spooled_rounds() if self.streaming else self._round_totals
+        return np.array([r.get(key, 0) for r in rounds], dtype=np.int64)

@@ -25,6 +25,9 @@ EXECUTION_MODES = ("sync", "async")
 RUNTIME_KINDS = ("instant", "gaussian", "trace")
 OPTIMIZERS = ("sgd", "rmsprop", "adam")
 DTYPES = ("float32", "float64")
+SAMPLER_KINDS = ("uniform", "reservoir", "stratified")
+HISTORY_MODES = ("append", "stream")
+STATE_SHARDING_MODES = ("auto", "dense", "sharded")
 
 CHOICES: dict[str, tuple[str, ...]] = {
     "executor": EXECUTOR_MODES,
@@ -33,6 +36,9 @@ CHOICES: dict[str, tuple[str, ...]] = {
     "runtime": RUNTIME_KINDS,
     "optimizer": OPTIMIZERS,
     "dtype": DTYPES,
+    "sampler": SAMPLER_KINDS,
+    "history_mode": HISTORY_MODES,
+    "state_sharding": STATE_SHARDING_MODES,
 }
 
 
@@ -66,6 +72,20 @@ def validate_runtime_spec(spec) -> str:
     """
     kind = str(spec).partition(":")[0]
     validate_choice("runtime", kind)
+    return spec
+
+
+def validate_sampler_spec(spec) -> str:
+    """Validate a ``sampler`` spec string (``kind[:strata]``).
+
+    The kind is registry-checked here; the optional strata parameter is
+    parsed (and errors) in :func:`repro.fl.sampling.parse_sampler_spec`.
+    """
+    kind = str(spec).partition(":")[0]
+    validate_choice("sampler", kind)
+    from repro.fl.sampling import parse_sampler_spec
+
+    parse_sampler_spec(spec)
     return spec
 
 
@@ -148,6 +168,40 @@ class FLConfig:
             A resumed run is bit-identical to an uninterrupted one;
             resuming under a mismatched config raises
             :class:`~repro.exceptions.CheckpointMismatchError`.
+        sampler: cohort sampler spec — 'uniform' (the historical
+            ``Generator.choice`` path), 'reservoir' (Floyd's O(cohort)
+            selection that never enumerates the population), or
+            'stratified[:strata]' (proportional allocation over
+            contiguous id strata).  The sampler changes which cohorts a
+            seed draws, so it is numerically relevant and participates
+            in the checkpoint config hash.
+        dispatch_cap: async execution only — cap each client at one
+            in-flight update: a sampled client whose previous dispatch
+            has not arrived yet is skipped this round instead of being
+            re-dispatched (the small-buffer backlog fix).  Changes which
+            updates exist under latency, hence hashed; with instant
+            runtimes no client is ever in flight at dispatch time, so
+            the sync bit-identity limit is unaffected.
+        history_mode: 'append' keeps every RoundRecord in memory (the
+            historical behaviour); 'stream' folds each record into O(1)
+            running summaries (and optionally spools records to JSONL
+            under ``stream_dir``) so a 100k-round run's history stays
+            flat.  Execution-only: both modes observe identical
+            records.
+        stream_dir: directory for streaming-mode JSONL spools
+            (``history.jsonl``, ``comm.jsonl``).  ``None`` keeps
+            summaries only.
+        state_sharding: server-side delta-table layout for the
+            regularized algorithms — 'dense' (the historical (N, d)
+            array), 'sharded' (rows allocated lazily per reporting
+            client, spillable to disk), or 'auto' (sharded for virtual
+            or >= 4096-client populations, dense otherwise).
+            Execution-only: layouts are bit-identical by contract.
+        state_cap: sharded tables keep at most this many delta rows
+            resident, spilling least-recently-used rows to an on-disk
+            store under ``state_dir`` (``None`` = no cap).
+        state_dir: directory for spilled delta rows (``None`` uses a
+            run-private temporary directory).
     """
 
     rounds: int = 30
@@ -174,6 +228,13 @@ class FLConfig:
     checkpoint_every: int = 1
     checkpoint_keep: int = 3
     resume: bool = False
+    sampler: str = "uniform"
+    dispatch_cap: bool = True
+    history_mode: str = "append"
+    stream_dir: str | None = None
+    state_sharding: str = "auto"
+    state_cap: int | None = None
+    state_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -208,6 +269,11 @@ class FLConfig:
             raise ConfigError("checkpoint_keep must be positive")
         if self.resume and self.checkpoint_dir is None:
             raise ConfigError("resume=True requires checkpoint_dir")
+        validate_sampler_spec(self.sampler)
+        validate_choice("history_mode", self.history_mode)
+        validate_choice("state_sharding", self.state_sharding)
+        if self.state_cap is not None and self.state_cap < 1:
+            raise ConfigError("state_cap must be >= 1 (or None for no cap)")
 
     def wire_bytes_per_scalar(self) -> int:
         """Resolved per-scalar wire width: the explicit override, or the

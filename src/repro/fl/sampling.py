@@ -1,10 +1,38 @@
-"""Client sampling."""
+"""Client sampling.
+
+Three cohort samplers share one contract — return a sorted int64 array
+of distinct client ids:
+
+- :func:`sample_clients` (``sampler='uniform'``): the historical
+  ``Generator.choice`` path.  Exact and simple, but ``choice`` without
+  replacement builds O(N) scratch state, so it is the wrong tool once
+  the population outgrows the cohort by orders of magnitude.
+- :func:`reservoir_sample` (``sampler='reservoir'``): Robert Floyd's
+  reservoir-style selection — O(cohort) memory and O(cohort) RNG draws
+  regardless of population size, never enumerating the id range.
+- :func:`stratified_sample` (``sampler='stratified[:strata]'``):
+  proportional allocation over contiguous id-range strata (largest
+  remainder), Floyd-sampled within each stratum.  Virtual populations
+  assign home labels by contiguous id blocks, so id strata double as
+  label strata.
+
+All three are deterministic functions of ``(num_clients, count, rng)``
+state, which is what lets checkpoint resume replay cohorts bit-exactly.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.exceptions import ConfigError
+
+
+def _cohort_count(num_clients: int, sample_ratio: float) -> int:
+    if not 0.0 < sample_ratio <= 1.0:
+        raise ConfigError(f"sample_ratio must be in (0, 1], got {sample_ratio}")
+    if num_clients <= 0:
+        raise ConfigError("num_clients must be positive")
+    return max(1, int(round(sample_ratio * num_clients)))
 
 
 def sample_clients(
@@ -16,12 +44,131 @@ def sample_clients(
     smaller ratios return ``max(1, round(SR * N))`` clients
     (partial participation, cross-device).
     """
-    if not 0.0 < sample_ratio <= 1.0:
-        raise ConfigError(f"sample_ratio must be in (0, 1], got {sample_ratio}")
-    if num_clients <= 0:
-        raise ConfigError("num_clients must be positive")
+    count = _cohort_count(num_clients, sample_ratio)
     if sample_ratio >= 1.0:
         return np.arange(num_clients)
-    count = max(1, int(round(sample_ratio * num_clients)))
     selected = rng.choice(num_clients, size=count, replace=False)
     return np.sort(selected)
+
+
+def reservoir_sample(
+    num_clients: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` distinct ids from ``range(num_clients)``, O(count) memory.
+
+    Floyd's algorithm: for j in [N-count, N), draw t uniform on [0, j];
+    take t unless already taken, else take j.  Every ``count``-subset is
+    equally likely, and neither memory nor RNG draws depend on N — the
+    property that lets a million-client population be sampled without
+    ever enumerating it.  ``count >= num_clients`` returns all ids
+    (exact-uniformity degenerate case).
+    """
+    if num_clients <= 0:
+        raise ConfigError("num_clients must be positive")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    if count >= num_clients:
+        return np.arange(num_clients)
+    selected: set[int] = set()
+    for j in range(num_clients - count, num_clients):
+        t = int(rng.integers(0, j + 1))
+        selected.add(j if t in selected else t)
+    return np.sort(np.fromiter(selected, dtype=np.int64, count=count))
+
+
+def stratified_sample(
+    num_clients: int, count: int, rng: np.random.Generator, strata: int = 10
+) -> np.ndarray:
+    """``count`` ids stratified over ``strata`` contiguous id ranges.
+
+    The cohort is allocated proportionally to stratum sizes (largest
+    remainder, ties to lower strata), then Floyd-sampled within each
+    stratum — so every stratum of a skewed population is represented in
+    every cohort instead of only in expectation.  Memory and RNG cost
+    stay O(count + strata).
+    """
+    if strata < 1:
+        raise ConfigError(f"strata must be >= 1, got {strata}")
+    if num_clients <= 0:
+        raise ConfigError("num_clients must be positive")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    if count >= num_clients:
+        return np.arange(num_clients)
+    strata = min(strata, num_clients, count)
+    bounds = np.linspace(0, num_clients, strata + 1).astype(np.int64)
+    sizes = np.diff(bounds)
+    # Largest-remainder proportional allocation, capped at stratum size.
+    exact = count * sizes / num_clients
+    alloc = np.floor(exact).astype(np.int64)
+    remainder = count - int(alloc.sum())
+    if remainder > 0:
+        order = np.argsort(-(exact - alloc), kind="stable")
+        alloc[order[:remainder]] += 1
+    # Cap at stratum sizes and push overflow to strata with headroom.
+    overflow = int(np.maximum(alloc - sizes, 0).sum())
+    alloc = np.minimum(alloc, sizes)
+    while overflow > 0:
+        headroom = np.flatnonzero(alloc < sizes)
+        take = headroom[: overflow]
+        alloc[take] += 1
+        overflow -= len(take)
+    parts = []
+    for s in range(strata):
+        if alloc[s] == 0:
+            continue
+        within = reservoir_sample(int(sizes[s]), int(alloc[s]), rng)
+        parts.append(within + bounds[s])
+    return np.sort(np.concatenate(parts))
+
+
+def parse_sampler_spec(spec: str) -> tuple[str, int | None]:
+    """Split a ``sampler`` spec into (kind, strata).
+
+    Accepted: ``'uniform'``, ``'reservoir'``, ``'stratified'``,
+    ``'stratified:<strata>'``.  Kind validity is checked by the choice
+    registry (:func:`repro.fl.config.validate_sampler_spec`); this
+    parses the parameter.
+    """
+    kind, _, param = str(spec).partition(":")
+    if not param:
+        return kind, None
+    if kind != "stratified":
+        raise ConfigError(f"sampler {kind!r} takes no parameter, got {spec!r}")
+    try:
+        strata = int(param)
+    except ValueError:
+        raise ConfigError(
+            f"sampler spec {spec!r}: strata must be an integer"
+        ) from None
+    if strata < 1:
+        raise ConfigError(f"sampler spec {spec!r}: strata must be >= 1")
+    return kind, strata
+
+
+def sample_cohort(
+    num_clients: int,
+    sample_ratio: float,
+    rng: np.random.Generator,
+    sampler: str = "uniform",
+) -> np.ndarray:
+    """One round's cohort under the configured sampler spec.
+
+    ``'uniform'`` is bit-identical to the historical
+    :func:`sample_clients` path; the scale-out samplers draw different
+    (equally uniform) cohorts, so the sampler knob is part of a run's
+    numeric identity and participates in the checkpoint config hash.
+    """
+    kind, strata = parse_sampler_spec(sampler)
+    count = _cohort_count(num_clients, sample_ratio)
+    if kind == "uniform":
+        return sample_clients(num_clients, sample_ratio, rng)
+    if sample_ratio >= 1.0:
+        return np.arange(num_clients)
+    if kind == "reservoir":
+        return reservoir_sample(num_clients, count, rng)
+    if kind == "stratified":
+        return stratified_sample(
+            num_clients, count, rng, strata=strata if strata is not None else 10
+        )
+    raise ConfigError(f"unknown sampler kind {kind!r}")

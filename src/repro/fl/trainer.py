@@ -19,6 +19,7 @@ overhead.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -31,11 +32,12 @@ if TYPE_CHECKING:  # imported for typing only; avoids a circular import
 from repro.exceptions import ConfigError
 from repro.fl.client import evaluate_model
 from repro.fl.config import FLConfig
-from repro.fl.metrics import History, RoundRecord
-from repro.fl.sampling import sample_clients
+from repro.fl.metrics import History, RoundRecord, StreamingHistory
+from repro.fl.sampling import sample_cohort
 from repro.models.split import SplitModel
 from repro.nn.dtype import default_dtype
 from repro.nn.serialization import set_flat_params
+from repro.obs.sysinfo import record_scale_gauges
 from repro.obs.trace import NULL_TRACER
 
 RoundCallback = Callable[[RoundRecord], None]
@@ -145,6 +147,29 @@ def resolve_round_callbacks(
     return round_callbacks, tracer
 
 
+def build_history(algorithm_name: str, config: FLConfig) -> History:
+    """The run's history in the mode ``config.history_mode`` selects.
+
+    ``'append'`` keeps the historical unbounded record list;
+    ``'stream'`` returns a :class:`StreamingHistory` that folds each
+    record into O(1) running aggregates, spooling full records to
+    ``<stream_dir>/history.jsonl`` when ``config.stream_dir`` is set.
+    The mode is execution-only — it never changes what gets recorded.
+    """
+    if getattr(config, "history_mode", "append") != "stream":
+        return History(algorithm=algorithm_name)
+    stream_dir = getattr(config, "stream_dir", None)
+    stream_path = None if stream_dir is None else os.path.join(stream_dir, "history.jsonl")
+    return StreamingHistory(algorithm=algorithm_name, stream_path=stream_path)
+
+
+def release_round_state(fed) -> None:
+    """Round-boundary cleanup for virtual populations: drop the cohort's
+    materialized shards so resident memory stays flat across rounds."""
+    if getattr(fed, "virtual", False):
+        fed.release()
+
+
 def make_client_loss(algorithm, model, fed, config) -> Callable[[int], float]:
     """Loss of the current global model on one client's shard (the
     signal loss-based selectors rank by)."""
@@ -166,16 +191,24 @@ def select_round_clients(
     selector,
     client_loss: Callable[[int], float],
 ) -> np.ndarray:
-    """One round's cohort — uniform sampling or a custom selector.
+    """One round's cohort — the configured sampler or a custom selector.
 
     Both execution modes draw from the same ``round_rng`` stream in the
     same per-round order, which is one of the preconditions for the
-    async engine's zero-latency bit-identity.
+    async engine's zero-latency bit-identity.  ``config.sampler``
+    selects the cohort-drawing strategy (``'uniform'`` is the historical
+    stream; ``'reservoir'`` / ``'stratified[:k]'`` never enumerate the
+    population — see :mod:`repro.fl.sampling`).
     """
     from repro.fl.selection import SelectionContext
 
     if selector is None:
-        return sample_clients(fed.num_clients, config.sample_ratio, round_rng)
+        return sample_cohort(
+            fed.num_clients,
+            config.sample_ratio,
+            round_rng,
+            sampler=getattr(config, "sampler", "uniform"),
+        )
     context = SelectionContext(
         round_idx=round_idx, fed=fed, rng=round_rng, client_loss=client_loss
     )
@@ -217,7 +250,7 @@ def _run_federated(
     round_rng = np.random.default_rng([config.seed, 0xF1])
     client_loss = make_client_loss(algorithm, model, fed, config)
 
-    history = History(algorithm=algorithm.name)
+    history = build_history(algorithm.name, config)
 
     # Crash-safe checkpointing (repro.ckpt).  The manager owns the
     # directory; a resume restores the newest valid checkpoint into the
@@ -305,6 +338,8 @@ def _run_federated(
                         tracer=tracer,
                     )
                     manager.save(round_idx, meta, sections)
+            record_scale_gauges(tracer, fed)
+        release_round_state(fed)
 
     history.final_accuracy = history.last_accuracy()
     if eval_per_client:

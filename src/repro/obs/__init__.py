@@ -42,6 +42,7 @@ from repro.obs.exporters import (
     write_run_artifacts,
 )
 from repro.obs.profiler import LayerProfiler, time_op
+from repro.obs.sysinfo import current_rss_bytes, peak_rss_bytes, record_scale_gauges
 
 __all__ = [
     "Counter",
@@ -62,4 +63,7 @@ __all__ = [
     "format_span_summary",
     "LayerProfiler",
     "time_op",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "record_scale_gauges",
 ]

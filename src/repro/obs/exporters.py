@@ -114,11 +114,23 @@ def format_round_table(history) -> str:
         f"{'time_ms':>8}  {'down_bytes':>10}  {'up_bytes':>10}"
     )
     lines = [header, "-" * len(header)]
-    for r in history.records:
+    records = history.records
+    if not records:
+        # Streaming histories keep no records in memory; replay the
+        # spool when one exists.
+        replay = getattr(history, "replay_records", None)
+        if replay is not None:
+            records = replay()
+    for r in records:
         acc = f"{r.test_accuracy:.4f}" if r.test_accuracy is not None else "-"
         lines.append(
             f"{r.round_idx:>5}  {r.train_loss:>10.4f}  {acc:>8}  "
             f"{1000 * r.wall_time_sec:>8.1f}  {r.bytes_down:>10}  {r.bytes_up:>10}"
+        )
+    if not records and getattr(history, "num_records", 0):
+        lines.append(
+            f"({history.num_records} rounds streamed, summaries only — "
+            "set stream_dir for per-round rows)"
         )
     return "\n".join(lines)
 

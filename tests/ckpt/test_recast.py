@@ -1,0 +1,169 @@
+"""Cross-dtype checkpoint migration (repro.ckpt.recast).
+
+The resume gate is strict about dtype on purpose; recast is the
+explicit, provenance-stamped escape hatch.  The matrix below proves
+both halves: raw cross-dtype resume REFUSES in both directions, and a
+recast checkpoint RESUMES in both directions — including while
+extending the round budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt import read_manifest, recast_checkpoint, recast_latest
+from repro.ckpt.recast import recast_tree
+from repro.exceptions import CheckpointError, CheckpointMismatchError
+from repro.fl.config import FLConfig
+from tests.conftest import make_toy_federation
+from tests.helpers import run_with_workers
+
+ROUNDS = 4
+
+
+def _config(dtype: str, **overrides) -> FLConfig:
+    base = dict(
+        rounds=ROUNDS, local_steps=2, batch_size=8, lr=0.1, seed=47, dtype=dtype
+    )
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return make_toy_federation(similarity=0.0)
+
+
+def _checkpointed_run(fed, tmp_path, dtype: str, name="rfedavg+", kwargs=None):
+    src_dir = tmp_path / f"ckpt-{dtype}"
+    config = _config(dtype, checkpoint_dir=str(src_dir), checkpoint_keep=50)
+    run_with_workers(name, kwargs or {"lam": 1e-3}, fed, config, num_workers=1)
+    return src_dir, config
+
+
+# -- the refusal/recast matrix ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "src_dtype,dst_dtype",
+    [("float64", "float32"), ("float32", "float64")],
+    ids=["f64-to-f32", "f32-to-f64"],
+)
+def test_raw_cross_dtype_resume_refuses(fed, tmp_path, src_dtype, dst_dtype):
+    src_dir, _ = _checkpointed_run(fed, tmp_path, src_dtype)
+    # Match everything except dtype: the dtype gate must fire, not the
+    # config-hash gate (dtype is deliberately its own, clearer, error).
+    target = _config(dst_dtype, checkpoint_dir=str(src_dir), resume=True)
+    with pytest.raises(CheckpointMismatchError, match="dtype"):
+        run_with_workers("rfedavg+", {"lam": 1e-3}, fed, target, num_workers=1)
+
+
+@pytest.mark.parametrize(
+    "src_dtype,dst_dtype",
+    [("float64", "float32"), ("float32", "float64")],
+    ids=["f64-to-f32", "f32-to-f64"],
+)
+def test_recast_then_resume_completes(fed, tmp_path, src_dtype, dst_dtype):
+    src_dir, _ = _checkpointed_run(fed, tmp_path, src_dtype)
+    dst_dir = tmp_path / "recast"
+    target = _config(dst_dtype, checkpoint_dir=str(dst_dir), checkpoint_keep=50)
+    recast_latest(src_dir, dst_dir, config=target)
+    algorithm, history = run_with_workers(
+        "rfedavg+", {"lam": 1e-3}, fed, target.with_updates(resume=True),
+        num_workers=1,
+    )
+    assert algorithm.global_params.dtype == np.dtype(dst_dtype)
+    assert len(history.records) == ROUNDS
+    assert np.isfinite(history.records[-1].train_loss)
+
+
+def test_recast_supports_extending_the_run(fed, tmp_path):
+    """Recasting may retarget a longer round budget: the stamp describes
+    the target config, so rounds_total moves with it."""
+    src_dir, _ = _checkpointed_run(fed, tmp_path, "float64")
+    dst_dir = tmp_path / "recast"
+    target = _config(
+        "float32", rounds=ROUNDS + 2, checkpoint_dir=str(dst_dir),
+        checkpoint_keep=50,
+    )
+    recast_latest(src_dir, dst_dir, config=target)
+    _, history = run_with_workers(
+        "rfedavg+", {"lam": 1e-3}, fed, target.with_updates(resume=True),
+        num_workers=1,
+    )
+    assert len(history.records) == ROUNDS + 2
+
+
+def test_same_dtype_recast_is_refused(fed, tmp_path):
+    src_dir, config = _checkpointed_run(fed, tmp_path, "float64")
+    with pytest.raises(CheckpointError, match="crossing dtypes"):
+        recast_latest(src_dir, tmp_path / "copy", config=config)
+
+
+# -- provenance audit ---------------------------------------------------------------
+
+
+def test_recast_stamps_target_provenance_and_keeps_source_audit(fed, tmp_path):
+    src_dir, src_config = _checkpointed_run(fed, tmp_path, "float64")
+    dst_dir = tmp_path / "recast"
+    target = _config("float32", checkpoint_dir=str(dst_dir))
+    dst_path = recast_latest(src_dir, dst_dir, config=target)
+    assert dst_path.name == sorted(p.name for p in src_dir.glob("ckpt-*.rck"))[-1]
+    meta = read_manifest(dst_path)["meta"]
+    stamp = meta["provenance"]
+    assert stamp["dtype"] == "float32"
+    assert stamp["algorithm"] == "rfedavg+"
+    audit = stamp["recast_from"]
+    assert audit["dtype"] == "float64"
+    assert audit["config_hash"] != stamp["config_hash"]
+    assert meta["rounds_total"] == target.rounds
+
+
+def test_recast_latest_requires_a_valid_checkpoint(fed, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(CheckpointError, match="no valid checkpoint"):
+        recast_latest(empty, tmp_path / "out", config=_config("float32"))
+    # A torn file does not count as valid either.
+    torn_dir = tmp_path / "torn"
+    src_dir, _ = _checkpointed_run(fed, torn_dir, "float64")
+    for path in src_dir.glob("ckpt-*.rck"):
+        path.write_bytes(path.read_bytes()[:-7])
+    with pytest.raises(CheckpointError, match="no valid checkpoint"):
+        recast_latest(src_dir, tmp_path / "out2", config=_config("float32"))
+
+
+# -- the tree cast itself -----------------------------------------------------------
+
+
+def test_recast_tree_touches_only_floating_arrays():
+    tree = {
+        "params": np.linspace(0, 1, 7, dtype=np.float64),
+        "nested": [np.float32([1.5, 2.5]), {"deep": np.float64([3.0])}],
+        "client_ids": np.arange(5, dtype=np.int64),
+        "reported": np.array([True, False]),
+        "rng_words": np.arange(4, dtype=np.uint32),
+        "count": 12,
+        "ratio": 0.25,
+        "label": "stream",
+    }
+    out = recast_tree(tree, np.dtype("float32"))
+    assert out["params"].dtype == np.float32
+    np.testing.assert_allclose(out["params"], tree["params"], rtol=1e-6)
+    assert out["nested"][0].dtype == np.float32  # already target: unchanged
+    assert out["nested"][0] is tree["nested"][0]
+    assert out["nested"][1]["deep"].dtype == np.float32
+    assert out["client_ids"].dtype == np.int64
+    assert out["client_ids"] is tree["client_ids"]
+    assert out["reported"].dtype == bool
+    assert out["rng_words"].dtype == np.uint32
+    assert out["count"] == 12 and out["ratio"] == 0.25 and out["label"] == "stream"
+
+
+def test_recast_checkpoint_rejects_missing_source(tmp_path):
+    with pytest.raises(CheckpointError):
+        recast_checkpoint(
+            tmp_path / "nope.rck", tmp_path / "out.rck",
+            config=_config("float32"),
+        )

@@ -129,7 +129,48 @@ def test_buffer_size_caps_flush_batches(fed):
     for record in history.async_history.records:
         per_flush[record.flush_round] = per_flush.get(record.flush_round, 0) + 1
     assert max(per_flush.values()) <= 2
-    assert all(r.num_selected == fed.num_clients for r in history.records)
+    # The dispatch cap defers cohort members whose previous update is
+    # still in flight, so backlogged rounds dispatch fewer clients than
+    # they sample; dispatch_cap=False restores the legacy re-dispatch.
+    assert all(r.num_selected <= fed.num_clients for r in history.records)
+    assert any(r.num_selected < fed.num_clients for r in history.records)
+    _alg, legacy = _run(
+        fed, _config(buffer_size=2, dispatch_cap=False),
+        runtime=TraceRuntime(STRAGGLER_TIMES),
+    )
+    assert all(r.num_selected == fed.num_clients for r in legacy.records)
+
+
+def test_dispatch_cap_bounds_inflight_backlog(fed):
+    """Regression for the async backlog bug: with a small buffer and a
+    long-tail runtime, re-dispatching still-in-flight clients grows the
+    event queue without bound; the dispatch cap keeps the backlog (and
+    the terminal discard count) bounded by the population."""
+    config = _config(rounds=12, buffer_size=1)
+    _alg, capped = _run(fed, config, runtime=TraceRuntime(STRAGGLER_TIMES))
+    assert capped.async_history.discarded_updates <= fed.num_clients
+    _alg, uncapped = _run(
+        fed, config.with_updates(dispatch_cap=False),
+        runtime=TraceRuntime(STRAGGLER_TIMES),
+    )
+    assert uncapped.async_history.discarded_updates > fed.num_clients
+
+
+def test_dispatch_cap_keeps_inflight_gauge_bounded(fed):
+    tracer = Tracer()
+    inflight = []
+
+    def sample(_record):
+        inflight.append(tracer.metrics.gauge("async.inflight").value)
+
+    _run(
+        fed, _config(rounds=10, buffer_size=1),
+        runtime=TraceRuntime(STRAGGLER_TIMES),
+        tracer=tracer, callbacks=[sample],
+    )
+    assert len(inflight) == 10
+    assert max(inflight) <= fed.num_clients
+    assert tracer.metrics.state_dict()["counters"]["async.deferred_dispatches"] > 0
 
 
 def test_buffer_timeout_flushes_partial_buffer(fed):

@@ -1,0 +1,244 @@
+"""Scale-out correctness gates: the cross-device machinery (virtual
+clients, sharded delta tables, streaming histories) must change *where
+bytes live*, never *what they are*.
+
+Every knob here is execution-only by contract, so at small N each one
+must reproduce the eager/dense/appending run bit-for-bit — including
+across a crash/resume with all three engaged at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.delta import DeltaTable, ShardedDeltaTable
+from repro.data import make_virtual_federation
+from repro.exceptions import ConfigError
+from repro.fl.config import FLConfig
+from repro.fl.metrics import StreamingHistory
+from tests.helpers import assert_equivalent_runs, run_with_workers, tiny_model_fn
+
+ROUNDS = 5
+
+
+def _config(**overrides) -> FLConfig:
+    base = dict(
+        rounds=ROUNDS, local_steps=2, batch_size=8, lr=0.1, seed=41,
+        sample_ratio=0.5, eval_every=2,
+    )
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def virt():
+    return make_virtual_federation(
+        12, seed=5, similarity=0.2, samples_per_client=16, size_sigma=0.4,
+        max_live=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def eager(virt):
+    return virt.materialize()
+
+
+# -- virtual vs eager ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [("fedavg", {}), ("rfedavg+", {"lam": 1e-3}), ("scaffold", {})],
+    ids=["fedavg", "rfedavg+", "scaffold"],
+)
+def test_virtual_population_matches_eager_bitwise(virt, eager, name, kwargs):
+    config = _config()
+    lazy = run_with_workers(name, kwargs, virt, config, num_workers=1)
+    dense = run_with_workers(name, kwargs, eager, config, num_workers=1)
+    assert_equivalent_runs(dense, lazy)
+    # The virtual run never held more than max_live shards.
+    assert virt.clients.live_clients == 0  # released after the final round
+
+
+@pytest.mark.parametrize("sampler", ["reservoir", "stratified:4"])
+def test_virtual_matches_eager_under_scale_samplers(virt, eager, sampler):
+    """The scale samplers see only (population, ratio, rng) — identical
+    cohorts either way, so identical runs."""
+    config = _config(sampler=sampler)
+    lazy = run_with_workers("fedavg", {}, virt, config, num_workers=1)
+    dense = run_with_workers("fedavg", {}, eager, config, num_workers=1)
+    assert_equivalent_runs(dense, lazy)
+
+
+# -- sharded vs dense server state --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["rfedavg", "rfedavg+"])
+def test_sharded_table_matches_dense_bitwise(eager, name):
+    kwargs = {"lam": 1e-3}
+    dense = run_with_workers(
+        name, kwargs, eager, _config(state_sharding="dense"), num_workers=1
+    )
+    sharded = run_with_workers(
+        name, kwargs, eager, _config(state_sharding="sharded"), num_workers=1
+    )
+    spilling = run_with_workers(
+        name, kwargs, eager,
+        _config(state_sharding="sharded", state_cap=2), num_workers=1,
+    )
+    assert_equivalent_runs(dense, sharded)
+    assert_equivalent_runs(dense, spilling)
+    assert isinstance(dense[0].delta_table, DeltaTable)
+    assert isinstance(sharded[0].delta_table, ShardedDeltaTable)
+    assert spilling[0].delta_table.spilled_rows > 0  # the cap actually bit
+
+
+def test_auto_sharding_threshold(virt, eager):
+    """'auto' picks sharded for virtual populations and for any
+    population at/above the threshold, dense otherwise."""
+    algorithm = make_algorithm("rfedavg+", lam=1e-3)
+    model = tiny_model_fn(eager)()
+    algorithm.setup(model, eager, _config())
+    assert isinstance(algorithm.delta_table, DeltaTable)
+    assert not isinstance(algorithm.delta_table, ShardedDeltaTable)
+
+    algorithm = make_algorithm("rfedavg+", lam=1e-3)
+    algorithm.setup(model, virt, _config())
+    assert isinstance(algorithm.delta_table, ShardedDeltaTable)
+
+    big = make_virtual_federation(
+        make_algorithm("rfedavg+", lam=1e-3).AUTO_SHARD_THRESHOLD, seed=0
+    )
+    algorithm = make_algorithm("rfedavg+", lam=1e-3)
+    algorithm.setup(model, big, _config())
+    assert isinstance(algorithm.delta_table, ShardedDeltaTable)
+
+    algorithm = make_algorithm("rfedavg+", lam=1e-3)
+    algorithm.setup(model, eager, _config(state_sharding="sharded"))
+    assert isinstance(algorithm.delta_table, ShardedDeltaTable)
+
+
+# -- crash/resume with everything engaged -------------------------------------------
+
+
+def _scale_config(tmp_path, tag, **overrides):
+    return _config(
+        state_sharding="sharded",
+        state_cap=2,
+        history_mode="stream",
+        stream_dir=str(tmp_path / f"stream-{tag}"),
+        **overrides,
+    )
+
+
+def _timeless(summary: dict) -> dict:
+    summary = dict(summary)
+    summary.pop("sum_wall_time", None)
+    last = summary.get("last_record")
+    if last is not None:
+        last = dict(last)
+        last.pop("wall_time_sec", None)
+        summary["last_record"] = last
+    return summary
+
+
+def _assert_same_streaming_run(baseline, resumed):
+    alg_a, hist_a = baseline
+    alg_b, hist_b = resumed
+    assert isinstance(hist_a, StreamingHistory)
+    np.testing.assert_array_equal(alg_a.global_params, alg_b.global_params)
+    assert _timeless(hist_a.summary_dict()) == _timeless(hist_b.summary_dict())
+    np.testing.assert_array_equal(hist_a.accuracies(), hist_b.accuracies())
+    np.testing.assert_array_equal(hist_a.train_losses(), hist_b.train_losses())
+    assert alg_a.ledger.total() == alg_b.ledger.total()
+
+
+def test_crash_resume_with_virtual_sharded_streaming(virt, tmp_path):
+    """The full scale stack — lazy clients, spilling table, streaming
+    history — survives a crash bit-identically."""
+    kwargs = {"lam": 1e-3}
+    baseline = run_with_workers(
+        "rfedavg+", kwargs, virt, _scale_config(tmp_path, "base"), num_workers=1
+    )
+    ckpt_dir = tmp_path / "ckpt"
+    crashed_config = _scale_config(
+        tmp_path, "crash", checkpoint_dir=str(ckpt_dir), checkpoint_keep=50
+    )
+    run_with_workers("rfedavg+", kwargs, virt, crashed_config, num_workers=1)
+    removed = 0
+    for round_idx in range(2, ROUNDS):
+        path = ckpt_dir / f"ckpt-{round_idx:08d}.rck"
+        if path.exists():
+            path.unlink()
+            removed += 1
+    assert removed > 0
+    resumed = run_with_workers(
+        "rfedavg+", kwargs, virt,
+        crashed_config.with_updates(resume=True), num_workers=1,
+    )
+    _assert_same_streaming_run(baseline, resumed)
+    # The resumed spool was truncated back to the checkpoint round and
+    # then re-extended — it must hold exactly ROUNDS records, once each.
+    rounds = resumed[1].rounds()
+    np.testing.assert_array_equal(rounds, np.arange(ROUNDS))
+
+
+def test_streaming_run_matches_appending_run(virt, tmp_path):
+    """history_mode is execution-only: the streaming run's spool replays
+    the appending run's series exactly."""
+    kwargs = {"lam": 1e-3}
+    appending = run_with_workers(
+        "rfedavg+", kwargs, virt, _config(), num_workers=1
+    )
+    streaming = run_with_workers(
+        "rfedavg+", kwargs, virt,
+        _config(history_mode="stream", stream_dir=str(tmp_path / "s")),
+        num_workers=1,
+    )
+    np.testing.assert_array_equal(
+        appending[0].global_params, streaming[0].global_params
+    )
+    np.testing.assert_array_equal(
+        streaming[1].accuracies(), appending[1].accuracies()
+    )
+    np.testing.assert_array_equal(
+        streaming[1].train_losses(), appending[1].train_losses()
+    )
+    assert streaming[1].total_bytes() == appending[1].total_bytes()
+
+
+def test_cross_layout_resume(virt, tmp_path):
+    """state_sharding is execution-only: a dense-run checkpoint resumes
+    under sharded layout (and the result still matches the baseline)."""
+    kwargs = {"lam": 1e-3}
+    baseline = run_with_workers(
+        "rfedavg+", kwargs, virt, _config(state_sharding="dense"), num_workers=1
+    )
+    ckpt_dir = tmp_path / "ckpt"
+    dense_config = _config(
+        state_sharding="dense", checkpoint_dir=str(ckpt_dir), checkpoint_keep=50
+    )
+    run_with_workers("rfedavg+", kwargs, virt, dense_config, num_workers=1)
+    for round_idx in range(2, ROUNDS):
+        path = ckpt_dir / f"ckpt-{round_idx:08d}.rck"
+        if path.exists():
+            path.unlink()
+    resumed = run_with_workers(
+        "rfedavg+", kwargs, virt,
+        dense_config.with_updates(resume=True, state_sharding="sharded", state_cap=2),
+        num_workers=1,
+    )
+    assert_equivalent_runs(baseline, resumed)
+    assert isinstance(resumed[0].delta_table, ShardedDeltaTable)
+
+
+# -- guard rails --------------------------------------------------------------------
+
+
+def test_rfedavg_exact_refuses_cross_device_populations():
+    fed = make_virtual_federation(200_000, seed=0)
+    config = _config(sample_ratio=0.0001, rounds=1, sampler="reservoir")
+    with pytest.raises(ConfigError, match="rfedavg_exact"):
+        run_with_workers("rfedavg_exact", {"lam": 1e-3}, fed, config, num_workers=1)
