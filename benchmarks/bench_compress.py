@@ -1,0 +1,241 @@
+"""Compression-pipeline benchmark: the accuracy-vs-bytes frontier.
+
+Runs FedAvg and rFedAvg+ through the composable compression pipeline
+(``FLConfig.compression``; rFedAvg+ additionally routes its second
+synchronization through ``FLConfig.sync_compression``) at three
+compression points each, against their dense baselines, and reports the
+accuracy-vs-uplink-bytes frontier plus a zero-error-feedback ablation
+at the heaviest point.  Two gates guard the run:
+
+* **bit identity** — a ``compression='none'`` run must be bit-identical
+  (final parameters + per-round ledger bytes) to a run with no
+  compression knob at all.  Fatal in quick AND full mode: this is the
+  "the pipeline costs nothing when off" contract.
+* **recovery** — at the target point (``topk:0.05|qsgd:8``) the
+  error-feedback run must spend >= 8x fewer uplink bytes than dense
+  while losing <= 0.5pp accuracy (tail-mean over the last 3 evals) on
+  the CNN scenario.  Fatal in full mode only — quick mode shrinks the
+  runs far below where accuracy statements mean anything.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_compress.py          # full frontier
+    PYTHONPATH=src python benchmarks/bench_compress.py --quick  # CI smoke
+
+Writes ``BENCH_compress.json`` at the repo root.  Exit status: 0 when
+the gates pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.experiments import build_image_federation, default_model_fn
+from repro.fl.config import FLConfig
+from repro.fl.trainer import run_federated
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+UPLINK_REDUCTION_TARGET = 8.0
+ACCURACY_TOLERANCE_PP = 0.5  # percentage points, tail-mean accuracy
+TARGET_SPEC = "topk:0.05|qsgd:8"
+
+# The frontier: mild -> target -> extreme.
+COMPRESSION_POINTS = ["qsgd:8", TARGET_SPEC, "sign"]
+
+LAMBDA = 1e-3
+
+
+def _uplink_bytes(algorithm) -> int:
+    """All UP-direction ledger bytes (model + delta + control...)."""
+    return algorithm.ledger.total("up")
+
+
+def _run(name, kwargs, fed, model_fn, config):
+    algorithm = make_algorithm(name, **kwargs)
+    history = run_federated(algorithm, fed, model_fn, config)
+    return algorithm, history
+
+
+def _acc(history) -> float:
+    return history.tail_mean_accuracy(3)
+
+
+# --------------------------------------------------------------------------
+# gate (a): 'none' pipeline is bit-identical to no knob at all
+# --------------------------------------------------------------------------
+
+def bench_none_bit_identity(fed, model_fn, config) -> dict:
+    plain_alg, plain_hist = _run("fedavg", {}, fed, model_fn, config)
+    none_alg, none_hist = _run(
+        "fedavg", {}, fed, model_fn, config.with_updates(compression="none")
+    )
+    params_identical = bool(
+        np.array_equal(plain_alg.global_params, none_alg.global_params)
+    )
+    ledger_identical = plain_alg.ledger.rounds == none_alg.ledger.rounds and all(
+        plain_alg.ledger.round_bytes(r) == none_alg.ledger.round_bytes(r)
+        for r in range(plain_alg.ledger.rounds)
+    )
+    accuracy_identical = plain_hist.final_accuracy == none_hist.final_accuracy
+    print(
+        f"none bit-identity: params={params_identical} "
+        f"ledger={ledger_identical} accuracy={accuracy_identical}"
+    )
+    return {
+        "params_identical": params_identical,
+        "ledger_identical": ledger_identical,
+        "accuracy_identical": accuracy_identical,
+    }
+
+
+# --------------------------------------------------------------------------
+# the frontier: accuracy vs uplink bytes
+# --------------------------------------------------------------------------
+
+def bench_frontier(fed, model_fn, config) -> dict:
+    """FedAvg + rFedAvg+ at dense / 3 compression points / no-EF ablation."""
+    rows: dict[str, dict] = {}
+
+    def add(label, name, kwargs, run_config):
+        algorithm, history = _run(name, kwargs, fed, model_fn, run_config)
+        rows[label] = {
+            "algorithm": name,
+            "compression": run_config.compression,
+            "sync_compression": run_config.sync_compression,
+            "error_feedback": run_config.error_feedback,
+            "accuracy": round(float(_acc(history)), 4),
+            "final_accuracy": round(float(history.final_accuracy), 4),
+            "uplink_bytes": _uplink_bytes(algorithm),
+            "downlink_bytes": algorithm.ledger.total("down"),
+        }
+        print(
+            f"  {label:28s} acc={rows[label]['accuracy']:.4f} "
+            f"uplink={rows[label]['uplink_bytes']:,} B"
+        )
+
+    print("frontier (fedavg):")
+    add("fedavg/dense", "fedavg", {}, config)
+    for spec in COMPRESSION_POINTS:
+        add(f"fedavg/{spec}", "fedavg", {}, config.with_updates(compression=spec))
+    add(
+        f"fedavg/{TARGET_SPEC}/no-ef", "fedavg", {},
+        config.with_updates(compression=TARGET_SPEC, error_feedback=False),
+    )
+
+    print("frontier (rfedavg+):")
+    kwargs = {"lam": LAMBDA}
+    add("rfedavg+/dense", "rfedavg+", kwargs, config)
+    for spec in COMPRESSION_POINTS:
+        # rFedAvg+ compresses both the uploads and its second sync.
+        add(
+            f"rfedavg+/{spec}", "rfedavg+", kwargs,
+            config.with_updates(compression=spec, sync_compression=spec),
+        )
+    add(
+        f"rfedavg+/{TARGET_SPEC}/no-ef", "rfedavg+", kwargs,
+        config.with_updates(
+            compression=TARGET_SPEC, sync_compression=TARGET_SPEC,
+            error_feedback=False,
+        ),
+    )
+    return rows
+
+
+def evaluate_gates(rows: dict, none_identity: dict, quick: bool) -> dict:
+    gates: dict = {
+        "none_bit_identity": all(none_identity.values()),
+        "uplink_reduction_min": UPLINK_REDUCTION_TARGET,
+        "accuracy_tolerance_pp": ACCURACY_TOLERANCE_PP,
+        "target_spec": TARGET_SPEC,
+    }
+    for name in ("fedavg", "rfedavg+"):
+        dense = rows[f"{name}/dense"]
+        target = rows[f"{name}/{TARGET_SPEC}"]
+        no_ef = rows[f"{name}/{TARGET_SPEC}/no-ef"]
+        reduction = dense["uplink_bytes"] / target["uplink_bytes"]
+        loss_pp = (dense["accuracy"] - target["accuracy"]) * 100.0
+        gates[name] = {
+            "uplink_reduction": round(reduction, 2),
+            "accuracy_loss_pp": round(loss_pp, 3),
+            "ef_advantage_pp": round(
+                (target["accuracy"] - no_ef["accuracy"]) * 100.0, 3
+            ),
+            "reduction_met": reduction >= UPLINK_REDUCTION_TARGET,
+            "tolerance_met": loss_pp <= ACCURACY_TOLERANCE_PP,
+        }
+        print(
+            f"gate [{name}]: {reduction:.1f}x fewer uplink bytes, "
+            f"{loss_pp:+.2f}pp accuracy vs dense "
+            f"(EF worth {gates[name]['ef_advantage_pp']:+.2f}pp)"
+        )
+    gates["recovery_met"] = all(
+        gates[name]["reduction_met"] and gates[name]["tolerance_met"]
+        for name in ("fedavg", "rfedavg+")
+    )
+    gates["recovery_gate_enforced"] = not quick
+    return gates
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny MLP runs for CI smoke (bit-identity gate stays fatal)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output JSON path (default: BENCH_compress.json at repo root)")
+    args = parser.parse_args()
+
+    if args.quick:
+        clients, rounds, model, scale = 4, 4, "mlp", 1.0
+        num_train, eval_every = 400, 2
+    else:
+        clients, rounds, model, scale = 8, 40, "cnn", 0.15
+        num_train, eval_every = 1600, 4
+
+    fed = build_image_federation(
+        "synth_mnist", num_clients=clients, similarity=0.0,
+        num_train=num_train, num_test=400, seed=0,
+    )
+    model_fn = default_model_fn(model, fed.spec, seed=0, scale=scale)
+    config = FLConfig(
+        rounds=rounds, local_steps=3, batch_size=16, lr=0.3,
+        eval_every=eval_every, seed=0,
+    )
+
+    none_identity = bench_none_bit_identity(fed, model_fn, config)
+    rows = bench_frontier(fed, model_fn, config)
+    gates = evaluate_gates(rows, none_identity, args.quick)
+
+    results = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "scenario": {
+            "dataset": "synth_mnist", "model": f"{model}(scale={scale})",
+            "clients": clients, "rounds": rounds, "num_train": num_train,
+        },
+        "none_bit_identity": none_identity,
+        "frontier": rows,
+        "targets": gates,
+    }
+    out_path = Path(args.out) if args.out else REPO_ROOT / "BENCH_compress.json"
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    fatal = gates["none_bit_identity"]
+    if not args.quick:
+        fatal = fatal and gates["recovery_met"]
+    return 0 if fatal else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,14 +58,28 @@ def test_table3_measured_ledger(once):
         run_federated(plain, fed, model_builder("mlp")(fed, 0), config)
         plus = RFedAvgPlus(lam=LAMBDA)
         run_federated(plus, fed, model_builder("mlp")(fed, 0), config)
-        return fed.num_clients, plain, plus
+        # Same run with the second synchronization riding a compression
+        # spec (error feedback on): the O(d N) delta re-upload shrinks.
+        synced = RFedAvgPlus(lam=LAMBDA)
+        run_federated(
+            synced, fed, model_builder("mlp")(fed, 0),
+            silo_config(rounds=4, sync_compression="topk:0.25|qsgd:8"),
+        )
+        return fed.num_clients, plain, plus, synced
 
-    n, plain, plus = once(run)
+    n, plain, plus, synced = once(run)
     down_plain = plain.ledger.total("down:delta")
     down_plus = plus.ledger.total("down:delta")
     banner("Table III (measured) — delta downlink over 4 rounds")
     report(f"rFedAvg  : {down_plain:,} B   (O(d N^2) per round)")
     report(f"rFedAvg+ : {down_plus:,} B   (O(d N) per round)")
+    report(f"rFedAvg+ sync_compression=topk:0.25|qsgd:8 : "
+           f"up:delta {synced.ledger.total('up:delta'):,} B "
+           f"vs dense {plus.ledger.total('up:delta'):,} B")
     assert down_plain == n * down_plus
     # Upload side is identical (each client sends its own delta).
     assert plain.ledger.total("up:delta") == plus.ledger.total("up:delta")
+    # The compressed second sync charges strictly fewer delta bytes, in
+    # both directions of the second synchronization.
+    assert synced.ledger.total("up:delta") < plus.ledger.total("up:delta")
+    assert synced.ledger.total("down:model") < plus.ledger.total("down:model")

@@ -37,11 +37,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.delta import DeltaTable, ShardedDeltaTable
 from repro.data.dataset import FederatedDataset
 from repro.exceptions import ProtocolError
 from repro.fl.client import LocalResult, local_sgd_steps
 from repro.fl.comm import CommLedger
-from repro.fl.compression import WireSize
+from repro.fl.compression import WireSize, compressor_from_spec
 from repro.fl.config import FLConfig
 from repro.fl.parallel import ClientExecutor, ClientUpdate, SerialExecutor, make_executor
 from repro.fl.server import weighted_average
@@ -86,6 +87,7 @@ class FederatedAlgorithm:
         self.ledger: CommLedger | None = None
         self.model_size = 0
         self.compressor = None  # optional upload Compressor
+        self._residuals = None  # per-client error-feedback accumulators
         self.fault_model = None  # optional FaultModel
         self.tracer = NULL_TRACER  # the trainer swaps in a live Tracer
         self.executor: ClientExecutor = SerialExecutor()
@@ -134,6 +136,16 @@ class FederatedAlgorithm:
             ),
         )
         self.model_size = num_params(model)
+        # The config's compression spec builds the upload pipeline unless
+        # an explicit compressor was attached via with_compressor() (the
+        # legacy path, which keeps its historical no-error-feedback
+        # behaviour bit for bit).
+        self._residuals = None
+        spec = getattr(config, "compression", "none")
+        if self.compressor is None and spec not in (None, "", "none"):
+            self.compressor = compressor_from_spec(spec)
+            if getattr(config, "error_feedback", True):
+                self._residuals = self._make_state_table(self.model_size)
         self.executor = (
             self._executor_override
             if self._executor_override is not None
@@ -143,6 +155,39 @@ class FederatedAlgorithm:
     def _require_setup(self) -> None:
         if self.model is None or self.fed is None or self.config is None:
             raise ProtocolError(f"{self.name}: setup() must be called before run_round()")
+
+    # Populations at or above this size default to sharded per-client
+    # state tables under state_sharding='auto' (dense would allocate
+    # N*d float64).
+    AUTO_SHARD_THRESHOLD = 4096
+
+    def _use_sharded_state(self, fed, config) -> bool:
+        """Whether per-client server-side state (delta tables, error
+        residuals) should use the lazy spillable layout — the same rule
+        for every table, so one config reads one way everywhere."""
+        mode = getattr(config, "state_sharding", "auto")
+        if mode == "dense":
+            return False
+        if mode == "sharded":
+            return True
+        return bool(getattr(fed, "virtual", False)) or (
+            fed.num_clients >= self.AUTO_SHARD_THRESHOLD
+        )
+
+    def _make_state_table(self, dim: int):
+        """A per-client (N, dim) state table in the configured layout."""
+        assert self.fed is not None and self.config is not None
+        if self._use_sharded_state(self.fed, self.config):
+            return ShardedDeltaTable(
+                self.fed.num_clients, dim,
+                dtype_bytes=self.config.wire_bytes_per_scalar(),
+                max_resident=getattr(self.config, "state_cap", None),
+                spill_dir=getattr(self.config, "state_dir", None),
+            )
+        return DeltaTable(
+            self.fed.num_clients, dim,
+            dtype_bytes=self.config.wire_bytes_per_scalar(),
+        )
 
     # -- wire-transport worker state ---------------------------------------------
     def _worker_state(self) -> dict:
@@ -157,7 +202,14 @@ class FederatedAlgorithm:
         or set ``wire_transport_safe = False``.
         """
         assert self.global_params is not None
-        return {"global_params": self.global_params}
+        state = {"global_params": self.global_params}
+        if self._residuals is not None:
+            # Error-feedback residuals are read worker-side (a client
+            # compresses update + e_t); 'ef.'-prefixed keys keep them
+            # clear of subclass segments like the delta table's.
+            for key, segment in self._residuals.worker_segments().items():
+                state["ef." + key] = segment
+        return state
 
     def _install_worker_state(self, state: dict) -> None:
         """Adopt a round-state broadcast (worker-side only).
@@ -166,6 +218,14 @@ class FederatedAlgorithm:
         buffer; they stay valid for the round they are installed for.
         """
         self.global_params = state["global_params"]
+        if self._residuals is not None:
+            segments = {
+                key[len("ef."):]: value
+                for key, value in state.items()
+                if key.startswith("ef.")
+            }
+            if segments:
+                self._residuals.install_worker_segments(segments)
 
     # -- checkpointing -----------------------------------------------------------
     def checkpoint_state(self) -> dict:
@@ -181,7 +241,10 @@ class FederatedAlgorithm:
         survive :func:`repro.ckpt.format.pack_tree` (arrays, scalars,
         strings, bytes, lists, dicts).
         """
-        return {}
+        state: dict = {}
+        if self._residuals is not None:
+            state["ef_residuals"] = self._residuals.checkpoint_segments()
+        return state
 
     def restore_checkpoint_state(self, state: dict) -> None:
         """Adopt a :meth:`checkpoint_state` snapshot.
@@ -190,6 +253,8 @@ class FederatedAlgorithm:
         before the resumed round runs; implementations copy values in
         rather than aliasing the decoded buffers.
         """
+        if self._residuals is not None and "ef_residuals" in state:
+            self._residuals.restore_checkpoint_segments(state["ef_residuals"])
 
     # -- per-client helpers --------------------------------------------------------
     def client_rng(self, round_idx: int, client_id: int) -> np.random.Generator:
@@ -260,7 +325,7 @@ class FederatedAlgorithm:
             reg_hook=self._reg_hook(round_idx, client_id),
             grad_hook=self._grad_hook(round_idx, client_id),
         )
-        params, streams, wire_size = self._apply_upload_pipeline(
+        params, streams, wire_size, residual = self._apply_upload_pipeline(
             round_idx, client_id, params
         )
         payload = self._client_payload(round_idx, client_id, params)
@@ -275,6 +340,7 @@ class FederatedAlgorithm:
             payload=payload,
             params_streams=streams,
             wire_size=wire_size,
+            residual=residual,
         )
 
     def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
@@ -282,8 +348,17 @@ class FederatedAlgorithm:
 
         Runs in the parent process, in selection order, regardless of
         which worker finished first — the only place per-client state
-        mutation is allowed.
+        mutation is allowed.  Subclasses extending this must call
+        ``super()._commit_client(...)`` so error-feedback residuals
+        commit.
         """
+        if update.residual is not None and self._residuals is not None:
+            residual = np.asarray(update.residual, dtype=np.float64)
+            self._residuals.update(update.client_id, residual)
+            if self.tracer.enabled:
+                self.tracer.metrics.histogram("compression.residual_norm").observe(
+                    float(np.linalg.norm(residual))
+                )
 
     def _aggregate(
         self, round_idx: int, selected: np.ndarray, updates: list[np.ndarray]
@@ -330,40 +405,77 @@ class FederatedAlgorithm:
             )
             if total_bytes:
                 self.ledger.charge_bytes(CommLedger.UP, "model", total_bytes)
+            self._observe_compression(len(updates), total_bytes)
             return
         total_scalars = sum(int(u.wire) for u in updates)
         if total_scalars:
             self.ledger.charge(CommLedger.UP, "model", total_scalars)
 
+    def _observe_compression(self, num_updates: int, charged_bytes: int) -> None:
+        """Export compression effectiveness into the metrics registry.
+
+        ``compression.bytes_saved`` counts uplink bytes avoided versus
+        dense uploads; ``compression.stage_bytes{stage=...}`` breaks the
+        charged bytes down per pipeline stage (stage footprints are
+        deterministic in the model size, so no extra metadata crosses
+        the wire).  Both land in ``summary.json`` with the ledger
+        totals via the tracer's registry snapshot.
+        """
+        if not self.tracer.enabled or self.compressor is None or not num_updates:
+            return
+        assert self.ledger is not None
+        dense_bytes = self.model_size * self.ledger.dtype_bytes * num_updates
+        if dense_bytes > charged_bytes:
+            self.tracer.metrics.counter("compression.bytes_saved").inc(
+                dense_bytes - charged_bytes
+            )
+        stage_footprints = getattr(self.compressor, "stage_footprints", None)
+        if stage_footprints is not None:
+            for stage, footprint in stage_footprints(self.model_size):
+                self.tracer.metrics.counter(
+                    "compression.stage_bytes", stage=stage
+                ).inc(footprint.nbytes(self.ledger.dtype_bytes) * num_updates)
+
     def _apply_upload_pipeline(
         self, round_idx: int, client_id: int, params: np.ndarray
-    ) -> tuple[np.ndarray | None, dict | None, "WireSize"]:
+    ) -> tuple[np.ndarray | None, dict | None, "WireSize", np.ndarray | None]:
         """Run a client's upload through faults + compression.
 
-        Returns ``(params, streams, wire_size)``: either the dense
-        parameters the server receives (``streams=None``), or the
+        Returns ``(params, streams, wire_size, residual)``: either the
+        dense parameters the server receives (``streams=None``), or the
         compressed wire streams (``params=None``) the round
-        materializes via :meth:`_materialize_params`.  Pure with
-        respect to shared state — the byzantine counter is advanced at
-        commit time by the round.
+        materializes via :meth:`_materialize_params`.  Under error
+        feedback the client compresses ``update + e_t`` and the new
+        accumulator ``e_{t+1} = e_t + update - decompress(compress(...))``
+        rides back on ``residual`` — this method stays pure with
+        respect to shared state (residuals commit in
+        :meth:`_commit_client`, the byzantine counter at commit time by
+        the round).
         """
         assert self.global_params is not None and self.config is not None
         if self.fault_model is not None and self.fault_model.is_byzantine(client_id):
             params = self.fault_model.corrupt(client_id, params, self.global_params)
         if self.compressor is None:
-            return params, None, WireSize(values=self.model_size)
+            return params, None, WireSize(values=self.model_size), None
         rng = np.random.default_rng([self.config.seed, round_idx, client_id, 0xC0])
-        diff = params - self.global_params
-        # Stream-capable compressors (TopK, subsampling) consume the rng
-        # in encode() exactly as compress() would, so either path sees
-        # identical draws and decode(encode(v)) == compress(v) bit for
-        # bit.
-        encoded = self.compressor.encode(diff, rng)
+        target = params - self.global_params
+        if self._residuals is not None:
+            target = target + self._residuals.get(client_id)
+        # Stream-capable compressors (TopK, subsampling, pipelines)
+        # consume the rng in encode() exactly as compress() would, so
+        # either path sees identical draws and decode(encode(v)) ==
+        # compress(v) bit for bit.
+        encoded = self.compressor.encode(target, rng)
         if encoded is not None:
             streams, wire_size = encoded
-            return None, streams, wire_size
-        recon, wire_size = self.compressor.compress(diff, rng)
-        return self.global_params + recon, None, wire_size
+            residual = None
+            if self._residuals is not None:
+                recon = self.compressor.decode(streams, self.model_size)
+                residual = target - recon
+            return None, streams, wire_size, residual
+        recon, wire_size = self.compressor.compress(target, rng)
+        residual = target - recon if self._residuals is not None else None
+        return self.global_params + recon, None, wire_size, residual
 
     def _materialize_params(self, update: ClientUpdate) -> None:
         """Reconstruct dense server-side parameters from wire streams.

@@ -190,5 +190,6 @@ class Moon(FederatedAlgorithm):
         return {"prev_params": get_flat_params(self.model)}
 
     def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        super()._commit_client(round_idx, update)
         assert self._prev_params is not None
         self._prev_params[update.client_id] = update.payload["prev_params"]

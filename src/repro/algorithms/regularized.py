@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import FederatedAlgorithm
-from repro.core.delta import DeltaCache, DeltaTable, ShardedDeltaTable
+from repro.core.delta import DeltaCache, DeltaTable
 from repro.core.privacy import GaussianDeltaMechanism
 from repro.core.regularizer import DistributionRegularizer
 from repro.exceptions import ConfigError
@@ -55,34 +55,15 @@ class RegularizedAlgorithm(FederatedAlgorithm):
         else:
             self.delta_cache = DeltaCache(max_entries=int(delta_cache))
 
-    # Populations at or above this size default to the sharded table
-    # under state_sharding='auto' (dense would allocate N*d float64).
-    AUTO_SHARD_THRESHOLD = 4096
-
+    # The layout rule (and AUTO_SHARD_THRESHOLD) lives on the base
+    # class now, shared with the error-feedback residual tables; the
+    # alias keeps the historical name for the delta-table call sites.
     def _use_sharded_table(self, fed, config) -> bool:
-        mode = getattr(config, "state_sharding", "auto")
-        if mode == "dense":
-            return False
-        if mode == "sharded":
-            return True
-        return bool(getattr(fed, "virtual", False)) or (
-            fed.num_clients >= self.AUTO_SHARD_THRESHOLD
-        )
+        return self._use_sharded_state(fed, config)
 
     def setup(self, model, fed, config) -> None:
         super().setup(model, fed, config)
-        if self._use_sharded_table(fed, config):
-            self.delta_table = ShardedDeltaTable(
-                fed.num_clients, model.feature_dim,
-                dtype_bytes=config.wire_bytes_per_scalar(),
-                max_resident=getattr(config, "state_cap", None),
-                spill_dir=getattr(config, "state_dir", None),
-            )
-        else:
-            self.delta_table = DeltaTable(
-                fed.num_clients, model.feature_dim,
-                dtype_bytes=config.wire_bytes_per_scalar(),
-            )
+        self.delta_table = self._make_state_table(model.feature_dim)
 
     def _worker_state(self) -> dict:
         state = super()._worker_state()

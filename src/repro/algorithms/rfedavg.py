@@ -104,5 +104,6 @@ class RFedAvg(RegularizedAlgorithm):
         )
 
     def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        super()._commit_client(round_idx, update)
         assert self.delta_table is not None
         self.delta_table.update(update.client_id, update.payload["delta"])

@@ -13,7 +13,16 @@ Two changes over rFedAvg:
    broadcast from O(d N^2) to O(d N).
 
 The price is a second model broadcast per round, which the ledger
-charges honestly.
+charges honestly.  That broadcast (plus the delta re-upload) is the
+``O(d N)`` term that dominates cross-device runs, so it gets its own
+compression knob: ``FLConfig.sync_compression`` runs the second
+synchronization through a :class:`~repro.fl.compression.CompressionPipeline`
+— the server sends ``compress(new_global - round_global)`` (clients
+already hold the round's phase-1 model, so only the aggregation step
+crosses the wire) and every client sends back ``compress(delta_k)``,
+each side keeping an error-feedback residual so the lossy exchange
+stays convergent.  Deltas are then computed under the *reconstructed*
+model on both sides, keeping server state and client state consistent.
 """
 
 from __future__ import annotations
@@ -24,6 +33,12 @@ from repro.algorithms.regularized import RegularizedAlgorithm
 from repro.core.privacy import GaussianDeltaMechanism
 from repro.core.regularizer import DistributionRegularizer
 from repro.fl.comm import CommLedger
+from repro.fl.compression import compressor_from_spec
+from repro.nn.serialization import set_flat_params
+
+# Dedicated rng stream tag for second-synchronization compression (the
+# upload pipeline uses 0xC0, privacy deltas 0xD9).
+_SYNC_STREAM = 0xD5
 
 
 class RFedAvgPlus(RegularizedAlgorithm):
@@ -43,6 +58,45 @@ class RFedAvgPlus(RegularizedAlgorithm):
             privacy=privacy,
             delta_cache=delta_cache,
         )
+        self._sync_pipeline = None
+        self._sync_model_residual: np.ndarray | None = None
+        self._sync_delta_residuals = None
+        self._sync_reference: np.ndarray | None = None
+
+    def setup(self, model, fed, config) -> None:
+        super().setup(model, fed, config)
+        spec = getattr(config, "sync_compression", "none")
+        self._sync_pipeline = compressor_from_spec(spec)
+        self._sync_model_residual = None
+        self._sync_delta_residuals = None
+        self._sync_reference = None
+        if self._sync_pipeline is not None and getattr(config, "error_feedback", True):
+            # Server-side residual for the model re-broadcast, per-client
+            # residuals for the delta re-uploads (sharded/spillable under
+            # the same layout rule as every other per-client table).
+            self._sync_model_residual = np.zeros(self.model_size, dtype=np.float64)
+            self._sync_delta_residuals = self._make_state_table(model.feature_dim)
+
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        if self._sync_model_residual is not None:
+            state["sync_model_residual"] = self._sync_model_residual
+        if self._sync_delta_residuals is not None:
+            state["sync_delta_residuals"] = (
+                self._sync_delta_residuals.checkpoint_segments()
+            )
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        if self._sync_model_residual is not None and "sync_model_residual" in state:
+            self._sync_model_residual = np.array(
+                state["sync_model_residual"], dtype=np.float64, copy=True
+            )
+        if self._sync_delta_residuals is not None and "sync_delta_residuals" in state:
+            self._sync_delta_residuals.restore_checkpoint_segments(
+                state["sync_delta_residuals"]
+            )
 
     def _reg_hook(self, round_idx: int, client_id: int):
         assert self.delta_table is not None
@@ -69,6 +123,16 @@ class RFedAvgPlus(RegularizedAlgorithm):
                 copies=len(selected),
             )
 
+    def _aggregate_updates(self, round_idx, selected, updates):
+        if self._sync_pipeline is not None:
+            # The compressed second sync sends the *aggregation step*
+            # relative to the model clients already hold — the round's
+            # phase-1 global, which is the current value right before
+            # aggregation replaces it (both execution engines call this
+            # at that moment).
+            self._sync_reference = self.global_params
+        return super()._aggregate_updates(round_idx, selected, updates)
+
     def _post_aggregate(self, round_idx: int, selected: np.ndarray) -> None:
         """Phase 2: second sync — deltas from the fresh global model."""
         assert (
@@ -76,6 +140,9 @@ class RFedAvgPlus(RegularizedAlgorithm):
             and self.delta_table is not None
             and self.model is not None
         )
+        if self._sync_pipeline is not None:
+            self._post_aggregate_compressed(round_idx, selected)
+            return
         with self.tracer.span("delta_sync"):
             # Server sends the aggregated model back down...
             self.ledger.charge(
@@ -89,3 +156,57 @@ class RFedAvgPlus(RegularizedAlgorithm):
             self.ledger.charge(
                 CommLedger.UP, "delta", self.model.feature_dim, copies=len(selected)
             )
+
+    def _post_aggregate_compressed(self, round_idx: int, selected: np.ndarray) -> None:
+        """Second sync through the ``sync_compression`` pipeline.
+
+        Downlink: ``compress(new_global - round_global [+ e_model])``;
+        clients reconstruct ``model_hat`` and compute their deltas under
+        it.  Uplink: each delta goes back as ``compress(delta_k [+
+        e_k])`` and the server stores the *reconstruction* — both sides
+        see the same lossy values, so the leave-one-out targets stay
+        consistent.  Everything runs server-side in selection order,
+        which keeps serial/parallel/wire/async(zero-latency) runs
+        bit-identical.
+        """
+        assert (
+            self.global_params is not None
+            and self._sync_reference is not None
+            and self.config is not None
+        )
+        pipeline = self._sync_pipeline
+        dtype_bytes = self.ledger.dtype_bytes
+        feature_dim = self.model.feature_dim
+        with self.tracer.span("delta_sync"):
+            rng = np.random.default_rng([self.config.seed, round_idx, _SYNC_STREAM])
+            target = self.global_params - self._sync_reference
+            if self._sync_model_residual is not None:
+                target = target + self._sync_model_residual
+            recon, wire_size = pipeline.compress(target, rng)
+            if self._sync_model_residual is not None:
+                self._sync_model_residual = target - recon
+            down_bytes = wire_size.nbytes(dtype_bytes) * len(selected)
+            self.ledger.charge_bytes(CommLedger.DOWN, "model", down_bytes)
+            # Clients hold the reconstructed model, so the deltas — and
+            # next round's leave-one-out targets — are computed under it.
+            set_flat_params(self.model, self._sync_reference + recon)
+            up_bytes = 0
+            for client_id in selected:
+                cid = int(client_id)
+                delta = self._client_delta(round_idx, cid, phase=1)
+                crng = np.random.default_rng(
+                    [self.config.seed, round_idx, cid, _SYNC_STREAM, 1]
+                )
+                if self._sync_delta_residuals is not None:
+                    delta = delta + self._sync_delta_residuals.get(cid)
+                drecon, dws = pipeline.compress(delta, crng)
+                if self._sync_delta_residuals is not None:
+                    self._sync_delta_residuals.update(cid, delta - drecon)
+                self.delta_table.update(cid, drecon)
+                up_bytes += dws.nbytes(dtype_bytes)
+            self.ledger.charge_bytes(CommLedger.UP, "delta", up_bytes)
+            if self.tracer.enabled:
+                dense = (self.model_size + feature_dim) * dtype_bytes * len(selected)
+                saved = dense - down_bytes - up_bytes
+                if saved > 0:
+                    self.tracer.metrics.counter("compression.bytes_saved").inc(saved)

@@ -128,6 +128,7 @@ class Scaffold(FederatedAlgorithm):
         )
 
     def _commit_client(self, round_idx: int, update: ClientUpdate) -> None:
+        super()._commit_client(round_idx, update)
         assert self.client_controls is not None
         self.client_controls[update.client_id] = update.payload["new_control"]
 

@@ -124,6 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--state-cap", type=int, default=None, metavar="R",
                      help="sharded state: spill least-recently-used rows to "
                           "disk past R resident rows")
+    run.add_argument("--compression", default="none", metavar="SPEC",
+                     help="lossy upload-compression pipeline, stages joined "
+                          "with '|': topk:R, randk:R, sketch:R, qsgd:B, sign, "
+                          "quantize:B (e.g. 'topk:0.01|qsgd:8'; default none)")
+    run.add_argument("--sync-compression", default="none", metavar="SPEC",
+                     help="pipeline for the rFedAvg+ second synchronization "
+                          "(model re-broadcast + delta re-upload; default none)")
+    run.add_argument("--no-error-feedback", action="store_true",
+                     help="disable the per-client error-feedback residuals "
+                          "under lossy compression (ablation)")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -281,6 +291,9 @@ def _command_run(args) -> int:
         stream_dir=args.stream_dir,
         state_sharding=args.state_sharding,
         state_cap=args.state_cap,
+        compression=args.compression,
+        sync_compression=args.sync_compression,
+        error_feedback=not args.no_error_feedback,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,

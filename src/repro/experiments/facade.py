@@ -211,6 +211,9 @@ def run_experiment(
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
     resume: bool = False,
+    compression: str | None = None,
+    sync_compression: str | None = None,
+    error_feedback: bool | None = None,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -248,6 +251,14 @@ def run_experiment(
         resume: resume from the newest valid checkpoint in
             ``checkpoint_dir``; the continued run is bit-identical to
             an uninterrupted one.
+        compression: lossy upload-compression pipeline spec
+            (``'topk:0.01|qsgd:8'``, see :mod:`repro.fl.compression`);
+            shorthand for the ``compression`` config override.
+        sync_compression: pipeline spec for the rFedAvg+ second
+            synchronization (shorthand for the config override).
+        error_feedback: keep per-client error-feedback residuals under
+            lossy compression (default True; shorthand for the config
+            override).
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -279,6 +290,12 @@ def run_experiment(
         config_overrides = {**config_overrides, "checkpoint_every": checkpoint_every}
     if resume:
         config_overrides = {**config_overrides, "resume": True}
+    if compression is not None:
+        config_overrides = {**config_overrides, "compression": compression}
+    if sync_compression is not None:
+        config_overrides = {**config_overrides, "sync_compression": sync_compression}
+    if error_feedback is not None:
+        config_overrides = {**config_overrides, "error_feedback": error_feedback}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)

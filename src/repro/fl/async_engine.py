@@ -199,15 +199,19 @@ def _update_to_tree(update: ClientUpdate) -> dict:
     tree["params"] = update.params
     tree["payload"] = update.payload
     tree["wire_size"] = asdict(update.wire_size) if update.wire_size else None
+    if update.residual is not None:
+        tree["residual"] = update.residual
     return tree
 
 
 def _update_from_tree(tree: dict) -> ClientUpdate:
     wire_size = tree.get("wire_size")
+    residual = tree.get("residual")
     return ClientUpdate(
         params=np.array(tree["params"], copy=True),
         payload=tree.get("payload"),
         wire_size=WireSize(**wire_size) if wire_size else None,
+        residual=None if residual is None else np.array(residual, copy=True),
         **{name: tree[name] for name in _UPDATE_SCALAR_FIELDS},
     )
 

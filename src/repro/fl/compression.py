@@ -1,36 +1,63 @@
-"""Payload compression strategies for federated uploads.
+"""Lossy payload compression for federated uploads.
 
 The paper's related-work section surveys communication-compression
 approaches (Konecny et al.'s quantization / random subsampling, sketch
-methods); this module implements the standard menu so experiments can
-combine the distribution regularizer with compressed model uploads:
+methods).  This module implements that menu as a **composable
+pipeline**: a spec string such as ``"topk:0.01|qsgd:8"`` chains an
+optional *selector* stage (which coordinates travel) with an optional
+*value coder* stage (how many bits each travels as):
 
-* :class:`TopKSparsifier` — keep the k largest-magnitude coordinates.
-* :class:`UniformQuantizer` — b-bit stochastic uniform quantization.
-* :class:`RandomSubsampler` — transmit a random coordinate subset.
-* :class:`NoCompression` — identity (the default everywhere else).
+========== ========= ====================================================
+stage      role      meaning
+========== ========= ====================================================
+``topk:R``   selector keep the ``R`` fraction of largest-|x| coordinates
+``randk:R``  selector keep a uniformly random ``R`` fraction, rescaled
+                      to be unbiased (alias: ``subsample:R``)
+``sketch:R`` selector count-sketch projection into ``R * d`` buckets
+                      (deterministic hash/sign tables; no index stream)
+``qsgd:B``   coder    QSGD-style stochastic quantization to ``B``-bit
+                      signed levels around a max-norm scale
+``sign``     coder    1-bit sign compression with a mean-|x| scale
+``quantize:B`` coder  ``B``-bit stochastic uniform quantization over
+                      [min, max] (two range scalars)
+``none``     —        identity; must appear alone
+========== ========= ====================================================
+
+Composition rules: at most one selector (first) and at most one value
+coder (last).  :func:`compressor_from_spec` is the canonical factory;
+:func:`repro.fl.config.validate_compression_spec` validates specs
+through the choice registry (typo suggestions included).
 
 Every compressor maps a flat float vector to a (reconstructed_vector,
 :class:`WireSize`) pair: the reconstruction is what the server
 aggregates (lossy), and the wire size describes what actually crosses
 the wire so the ledger can charge real bytes under the active dtype
-policy.  Sparse compressors additionally implement
-:meth:`Compressor.encode` / :meth:`Compressor.decode`, which split the
-payload into an ``int32`` index stream plus a value stream — the packed
-wire transport ships those instead of a dense reconstruction, and
-``decode(encode(v))`` is bit-identical to ``compress(v)`` under the
-same rng.
+policy.  Pipelines (and the sparse legacy classes) additionally
+implement :meth:`Compressor.encode` / :meth:`Compressor.decode`, which
+split the payload into wire streams (an ``int32`` index stream plus a
+value stream) — the packed wire transport ships those instead of a
+dense reconstruction, and ``decode(encode(v))`` is bit-identical to
+``compress(v)`` under the same rng.
 
-**Byte accounting.**  Historically indices were charged as "1 scalar
-per index" (a common simplification).  The wire path charges them as 4
-``int32`` bytes each instead; construct a compressor with
+**Error feedback** lives one layer up (``repro.algorithms.base``): the
+client compresses ``update + residual`` and keeps
+``e_{t+1} = e_t + update - decompress(compress(update + e_t))``; the
+pipeline itself is stateless, which is what makes it safe to fork into
+worker processes.
+
+**Byte accounting.**  Pipeline stage footprints are deterministic
+functions of the input size, so per-stage encoded bytes
+(:meth:`CompressionPipeline.stage_footprints`) can be reported without
+shipping extra metadata.  Historically indices were charged as "1
+scalar per index"; construct a *legacy* compressor class with
 ``legacy_scalars=True`` to restore the old accounting (and dense
 shipping) when reproducing pre-wire experiment numbers — see
-``docs/performance.md`` for the delta.
+``docs/compression.md`` and ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +65,8 @@ import numpy as np
 from repro.exceptions import ConfigError
 
 INDEX_BYTES = 4  # compressed coordinate indices travel as int32
+
+_SKETCH_SEED = 0x5CE7C4  # root of the deterministic count-sketch tables
 
 
 @dataclass(frozen=True)
@@ -226,8 +255,12 @@ class UniformQuantizer(Compressor):
 
     Unbiased: each value rounds up with probability equal to its
     fractional position between adjacent levels.  Wire size: 2 range
-    scalars plus ``ceil(size * b / 8)`` raw bytes of bit-packed levels
-    (legacy accounting: ``2 + ceil(size * b / 32)`` scalars).  The
+    scalars plus ``ceil(size * b / 8)`` raw bytes of bit-packed levels.
+    ``legacy_scalars=True`` keeps the old *scalar count* — ``2 +
+    ceil(size * b / 32)``, i.e. bit-packed words counted as 32-bit
+    scalars — on :attr:`WireSize.scalars`, but byte charges always use
+    the actual bit-width payload: the old mode multiplied the packed
+    words by the dtype width, double-charging a float64 run 4x.  The
     reconstruction ships dense — there is no index stream to exploit.
     """
 
@@ -240,18 +273,20 @@ class UniformQuantizer(Compressor):
         self.legacy = bool(legacy_scalars)
 
     def _wire(self, size: int) -> WireSize:
+        # legacy=False always: quantized payloads are bit-packed words,
+        # so charging them as dtype-width scalars misstates the wire.
         return WireSize(
             values=2,
             raw_bytes=int(np.ceil(size * self.bits / 8.0)),
             legacy_scalars=2 + int(np.ceil(size * self.bits / 32.0)),
-            legacy=self.legacy,
+            legacy=False,
         )
 
     def compress(self, vec, rng):
         vec = np.asarray(vec, dtype=np.float64)
         lo, hi = float(vec.min()), float(vec.max())
         if hi == lo:
-            return np.full_like(vec, lo), WireSize(values=2, legacy=self.legacy)
+            return np.full_like(vec, lo), WireSize(values=2, legacy=False)
         levels = (1 << self.bits) - 1
         scaled = (vec - lo) / (hi - lo) * levels
         floor = np.floor(scaled)
@@ -262,8 +297,410 @@ class UniformQuantizer(Compressor):
         return recon, self._wire(vec.size)
 
 
+# -- composable pipeline stages ----------------------------------------------------
+
+
+class _Stage:
+    """One stage of a :class:`CompressionPipeline` (internal).
+
+    Stages are stateless and deterministic in shape: their wire
+    footprint depends only on the input size, never on the data, so the
+    parent can account per-stage bytes without shipping metadata.
+    """
+
+    kind = "stage"
+    role = ""  # "selector" | "coder"
+
+    @property
+    def spec(self) -> str:
+        raise NotImplementedError
+
+
+def _parse_ratio(kind: str, arg: str) -> float:
+    try:
+        ratio = float(arg)
+    except ValueError:
+        raise ConfigError(f"compression stage '{kind}' needs a float ratio, got {arg!r}")
+    if not 0.0 < ratio <= 1.0:
+        raise ConfigError(f"compression stage '{kind}' ratio must be in (0, 1], got {ratio}")
+    return ratio
+
+
+def _parse_bits(kind: str, arg: str, lo: int, hi: int) -> int:
+    try:
+        bits = int(arg)
+    except ValueError:
+        raise ConfigError(f"compression stage '{kind}' needs an int bit-width, got {arg!r}")
+    if not lo <= bits <= hi:
+        raise ConfigError(
+            f"compression stage '{kind}' bits must be in [{lo}, {hi}], got {bits}"
+        )
+    return bits
+
+
+class _TopKStage(_Stage):
+    kind = "topk"
+    role = "selector"
+
+    def __init__(self, arg: str) -> None:
+        self.ratio = _parse_ratio(self.kind, arg)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.kind}:{self.ratio:g}"
+
+    def carrier_size(self, size: int) -> int:
+        return max(1, int(round(self.ratio * size)))
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=0, index_ints=self.carrier_size(size))
+
+    def select(self, vec: np.ndarray, rng) -> tuple[np.ndarray, np.ndarray]:
+        k = self.carrier_size(vec.size)
+        keep = np.argpartition(np.abs(vec), -k)[-k:]
+        return keep, vec[keep]
+
+
+class _RandKStage(_Stage):
+    kind = "randk"
+    role = "selector"
+
+    def __init__(self, arg: str) -> None:
+        self.ratio = _parse_ratio(self.kind, arg)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.kind}:{self.ratio:g}"
+
+    def carrier_size(self, size: int) -> int:
+        return max(1, int(round(self.ratio * size)))
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=0, index_ints=self.carrier_size(size))
+
+    def select(self, vec: np.ndarray, rng) -> tuple[np.ndarray, np.ndarray]:
+        k = self.carrier_size(vec.size)
+        keep = rng.choice(vec.size, size=k, replace=False)
+        # Inverse-probability scaling keeps the selection unbiased.
+        return keep, vec[keep] * (vec.size / k)
+
+
+class _SketchStage(_Stage):
+    """Count-sketch projection: d coordinates hash into ``ratio * d``
+    signed buckets; the estimate for coordinate i is
+    ``sign(i) * bucket[h(i)]``.  Hash and sign tables derive
+    deterministically from (size, width), so decode needs no streams
+    beyond the buckets themselves and no index ints cross the wire."""
+
+    kind = "sketch"
+    role = "selector"
+
+    def __init__(self, arg: str) -> None:
+        self.ratio = _parse_ratio(self.kind, arg)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.kind}:{self.ratio:g}"
+
+    def carrier_size(self, size: int) -> int:
+        return max(1, int(round(self.ratio * size)))
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=0)  # the bucket payload is charged downstream
+
+    def _tables(self, size: int) -> tuple[np.ndarray, np.ndarray]:
+        width = self.carrier_size(size)
+        rng = np.random.default_rng([_SKETCH_SEED, size, width])
+        buckets = rng.integers(0, width, size=size)
+        signs = (rng.integers(0, 2, size=size) * 2 - 1).astype(np.float64)
+        return buckets, signs
+
+    def project(self, vec: np.ndarray) -> np.ndarray:
+        buckets, signs = self._tables(vec.size)
+        out = np.zeros(self.carrier_size(vec.size), dtype=np.float64)
+        np.add.at(out, buckets, signs * vec)
+        return out
+
+    def expand(self, values: np.ndarray, size: int) -> np.ndarray:
+        buckets, signs = self._tables(size)
+        return signs * values[buckets]
+
+
+class _QSGDStage(_Stage):
+    """QSGD-style quantization: a max-norm scale plus ``bits``-bit
+    signed stochastic levels, ``L = 2^(bits-1) - 1`` per sign."""
+
+    kind = "qsgd"
+    role = "coder"
+
+    def __init__(self, arg: str) -> None:
+        self.bits = _parse_bits(self.kind, arg, 2, 16)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.kind}:{self.bits}"
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=1, raw_bytes=int(np.ceil(size * self.bits / 8.0)))
+
+    def code(self, values: np.ndarray, rng) -> np.ndarray:
+        draws = rng.random(values.shape)  # data-independent rng consumption
+        scale = float(np.max(np.abs(values))) if values.size else 0.0
+        if scale == 0.0:
+            return np.zeros_like(values)
+        levels = (1 << (self.bits - 1)) - 1
+        scaled = values / scale * levels
+        floor = np.floor(scaled)
+        quantized = np.clip(floor + (draws < scaled - floor), -levels, levels)
+        return quantized * (scale / levels)
+
+
+class _SignStage(_Stage):
+    """1-bit sign compression with a mean-|x| scale (signSGD with
+    majority-vote scaling collapses to this in the single-round view)."""
+
+    kind = "sign"
+    role = "coder"
+
+    def __init__(self, arg: str) -> None:
+        if arg:
+            raise ConfigError(f"compression stage 'sign' takes no parameter, got {arg!r}")
+
+    @property
+    def spec(self) -> str:
+        return self.kind
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=1, raw_bytes=int(np.ceil(size / 8.0)))
+
+    def code(self, values: np.ndarray, rng) -> np.ndarray:
+        scale = float(np.mean(np.abs(values))) if values.size else 0.0
+        return np.where(values < 0.0, -scale, scale)
+
+
+class _UniformStage(_Stage):
+    """Pipeline form of :class:`UniformQuantizer`: two range scalars
+    plus ``bits``-bit stochastic levels over [min, max]."""
+
+    kind = "quantize"
+    role = "coder"
+
+    def __init__(self, arg: str) -> None:
+        self.bits = _parse_bits(self.kind, arg, 1, 16)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.kind}:{self.bits}"
+
+    def footprint(self, size: int) -> WireSize:
+        return WireSize(values=2, raw_bytes=int(np.ceil(size * self.bits / 8.0)))
+
+    def code(self, values: np.ndarray, rng) -> np.ndarray:
+        draws = rng.random(values.shape)  # data-independent rng consumption
+        lo = float(values.min()) if values.size else 0.0
+        hi = float(values.max()) if values.size else 0.0
+        if hi == lo:
+            return np.full_like(values, lo)
+        levels = (1 << self.bits) - 1
+        scaled = (values - lo) / (hi - lo) * levels
+        floor = np.floor(scaled)
+        rounded = np.clip(floor + (draws < scaled - floor), 0, levels)
+        return lo + rounded / levels * (hi - lo)
+
+
+#: stage kind -> class, also consulted by the config choice registry.
+PIPELINE_STAGES: dict[str, type[_Stage]] = {
+    _TopKStage.kind: _TopKStage,
+    _RandKStage.kind: _RandKStage,
+    _SketchStage.kind: _SketchStage,
+    _QSGDStage.kind: _QSGDStage,
+    _SignStage.kind: _SignStage,
+    _UniformStage.kind: _UniformStage,
+}
+
+#: accepted spellings for spec validation ('none' + stage kinds + aliases).
+SPEC_STAGE_KINDS: tuple[str, ...] = ("none", *PIPELINE_STAGES, "subsample")
+
+_STAGE_ALIASES = {"subsample": "randk"}
+
+
+def parse_compression_spec(spec: str) -> list[_Stage]:
+    """Parse and validate a pipeline spec like ``"topk:0.01|qsgd:8"``.
+
+    Returns the (possibly empty, for ``"none"``) stage list.  Raises
+    :class:`~repro.exceptions.ConfigError` on unknown stages, bad
+    parameters, or illegal compositions (more than one selector, more
+    than one value coder, selector not first, coder not last).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigError(f"compression spec must be a non-empty string, got {spec!r}")
+    parts = [part.strip() for part in spec.split("|")]
+    if "none" in parts:
+        if parts != ["none"]:
+            raise ConfigError(
+                f"compression spec 'none' cannot be combined with other stages: {spec!r}"
+            )
+        return []
+    stages: list[_Stage] = []
+    for part in parts:
+        kind, sep, arg = part.partition(":")
+        kind = _STAGE_ALIASES.get(kind.strip(), kind.strip())
+        cls = PIPELINE_STAGES.get(kind)
+        if cls is None:
+            raise ConfigError(
+                f"unknown compression stage {kind!r} in spec {spec!r}; "
+                f"choose from {sorted(SPEC_STAGE_KINDS)}"
+            )
+        stages.append(cls(arg.strip()))
+    selectors = [s for s in stages if s.role == "selector"]
+    coders = [s for s in stages if s.role == "coder"]
+    if len(selectors) > 1:
+        raise ConfigError(f"compression spec {spec!r} has more than one selector stage")
+    if len(coders) > 1:
+        raise ConfigError(f"compression spec {spec!r} has more than one value-coder stage")
+    if selectors and stages[0] is not selectors[0]:
+        raise ConfigError(f"selector stage must come first in compression spec {spec!r}")
+    if coders and stages[-1] is not coders[0]:
+        raise ConfigError(f"value-coder stage must come last in compression spec {spec!r}")
+    return stages
+
+
+class CompressionPipeline(Compressor):
+    """Composable lossy compressor built from a spec string.
+
+    ``compress`` / ``encode`` / ``decode`` follow the
+    :class:`Compressor` contract; ``decode(encode(v))`` is bit-identical
+    to ``compress(v)`` by construction (both run the same selection /
+    coding and the same scatter).  Stage wire footprints depend only on
+    the input size — see :meth:`stage_footprints`.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, spec: str) -> None:
+        stages = parse_compression_spec(spec)
+        if not stages:
+            raise ConfigError(
+                "CompressionPipeline needs at least one stage; use "
+                "compressor_from_spec() to map 'none' to no compressor"
+            )
+        self.stages = stages
+        self.selector = next((s for s in stages if s.role == "selector"), None)
+        self.coder = next((s for s in stages if s.role == "coder"), None)
+        self.spec = "|".join(stage.spec for stage in stages)
+
+    def __repr__(self) -> str:
+        return f"CompressionPipeline({self.spec!r})"
+
+    # -- shape accounting -------------------------------------------------------
+    def carrier_size(self, size: int) -> int:
+        """How many carrier values survive selection for a d=size input."""
+        return self.selector.carrier_size(size) if self.selector is not None else int(size)
+
+    def wire_size(self, size: int) -> WireSize:
+        """Total wire footprint for one d=size upload (data-independent)."""
+        total = WireSize(values=0)
+        for _, footprint in self.stage_footprints(size):
+            total = total + footprint
+        return total
+
+    def stage_footprints(self, size: int) -> list[tuple[str, WireSize]]:
+        """Per-stage true encoded bytes: ``[(stage_spec, WireSize), ...]``.
+
+        Footprints sum to :meth:`wire_size`.  When no value coder is
+        present the carrier values travel as dtype-width scalars,
+        reported as a synthetic ``'values'`` entry.
+        """
+        out: list[tuple[str, WireSize]] = []
+        carrier = int(size)
+        if self.selector is not None:
+            out.append((self.selector.spec, self.selector.footprint(size)))
+            carrier = self.selector.carrier_size(size)
+        if self.coder is not None:
+            out.append((self.coder.spec, self.coder.footprint(carrier)))
+        else:
+            out.append(("values", WireSize(values=carrier)))
+        return out
+
+    # -- compression ------------------------------------------------------------
+    def _encode_parts(
+        self, vec: np.ndarray, rng
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        vec = np.asarray(vec, dtype=np.float64).ravel()
+        indices: np.ndarray | None = None
+        if isinstance(self.selector, _SketchStage):
+            values = self.selector.project(vec)
+        elif self.selector is not None:
+            indices, values = self.selector.select(vec, rng)
+        else:
+            values = vec
+        if self.coder is not None:
+            values = self.coder.code(values, rng)
+        return indices, np.asarray(values, dtype=np.float64)
+
+    def _expand(
+        self, indices: np.ndarray | None, values: np.ndarray, size: int
+    ) -> np.ndarray:
+        if isinstance(self.selector, _SketchStage):
+            return self.selector.expand(values, size)
+        if self.selector is not None:
+            out = np.zeros(int(size), dtype=np.float64)
+            out[indices] = values
+            return out
+        return np.array(values, dtype=np.float64, copy=True)
+
+    def compress(self, vec, rng):
+        size = int(np.asarray(vec).size)
+        indices, values = self._encode_parts(vec, rng)
+        return self._expand(indices, values, size), self.wire_size(size)
+
+    def encode(self, vec, rng):
+        size = int(np.asarray(vec).size)
+        indices, values = self._encode_parts(vec, rng)
+        streams = {"values": values}
+        if indices is not None:
+            streams["indices"] = indices.astype(np.int32)
+        return streams, self.wire_size(size)
+
+    def decode(self, streams, size):
+        return self._expand(streams.get("indices"), streams["values"], int(size))
+
+
+def compressor_from_spec(spec: str | None) -> Compressor | None:
+    """Canonical factory: spec string -> compressor (``None`` for 'none').
+
+    ``compressor_from_spec("none")`` (or ``None`` / ``""``) returns
+    ``None`` so callers can keep the uncompressed fast path — and its
+    byte accounting — bit-identical to a run with no compression knob.
+    """
+    if spec is None or spec == "" or spec == "none":
+        return None
+    if not parse_compression_spec(spec):  # "none" with whitespace etc.
+        return None
+    return CompressionPipeline(spec)
+
+
+_MAKE_COMPRESSOR_WARNED = False
+
+
 def make_compressor(name: str, **kwargs) -> Compressor:
-    """Factory: 'none' | 'topk' | 'subsample' | 'quantize'."""
+    """Deprecated factory: 'none' | 'topk' | 'subsample' | 'quantize'.
+
+    Use spec strings instead — :func:`compressor_from_spec`
+    (``"topk:0.05"``, ``"quantize:8"``) or the ``FLConfig.compression``
+    knob, which add composition and error feedback.  This alias warns
+    once per process and delegates to the legacy single-stage classes
+    (still the right tool for ``legacy_scalars=True`` byte accounting).
+    """
+    global _MAKE_COMPRESSOR_WARNED
+    if not _MAKE_COMPRESSOR_WARNED:
+        _MAKE_COMPRESSOR_WARNED = True
+        warnings.warn(
+            "make_compressor() is deprecated; build compressors from spec "
+            "strings via compressor_from_spec() or FLConfig(compression=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     table = {
         "none": NoCompression,
         "topk": TopKSparsifier,

@@ -28,6 +28,7 @@ DTYPES = ("float32", "float64")
 SAMPLER_KINDS = ("uniform", "reservoir", "stratified")
 HISTORY_MODES = ("append", "stream")
 STATE_SHARDING_MODES = ("auto", "dense", "sharded")
+COMPRESSION_STAGES = ("none", "topk", "randk", "subsample", "sketch", "qsgd", "sign", "quantize")
 
 CHOICES: dict[str, tuple[str, ...]] = {
     "executor": EXECUTOR_MODES,
@@ -39,6 +40,7 @@ CHOICES: dict[str, tuple[str, ...]] = {
     "sampler": SAMPLER_KINDS,
     "history_mode": HISTORY_MODES,
     "state_sharding": STATE_SHARDING_MODES,
+    "compression": COMPRESSION_STAGES,
 }
 
 
@@ -86,6 +88,25 @@ def validate_sampler_spec(spec) -> str:
     from repro.fl.sampling import parse_sampler_spec
 
     parse_sampler_spec(spec)
+    return spec
+
+
+def validate_compression_spec(spec) -> str:
+    """Validate a compression pipeline spec (``stage[:param]|...``).
+
+    Each stage kind is registry-checked here (typo suggestions
+    included); parameter parsing and composition rules (one selector
+    first, one value coder last) live in
+    :func:`repro.fl.compression.parse_compression_spec`.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigError(f"compression spec must be a non-empty string, got {spec!r}")
+    for part in spec.split("|"):
+        kind = part.strip().partition(":")[0].strip()
+        validate_choice("compression", kind)
+    from repro.fl.compression import parse_compression_spec
+
+    parse_compression_spec(spec)
     return spec
 
 
@@ -202,6 +223,20 @@ class FLConfig:
             store under ``state_dir`` (``None`` = no cap).
         state_dir: directory for spilled delta rows (``None`` uses a
             run-private temporary directory).
+        compression: lossy upload-compression pipeline spec (see
+            :mod:`repro.fl.compression`): 'none' (default, bit-identical
+            to runs predating the knob) or stages joined with '|', e.g.
+            'topk:0.01|qsgd:8', 'sign', 'sketch:0.05'.  Numerically
+            relevant, hence part of the checkpoint config hash.
+        error_feedback: keep a per-client residual accumulator
+            ``e_{t+1} = e_t + update - decompress(compress(update + e_t))``
+            so aggressive compression still converges.  Only meaningful
+            with ``compression != 'none'``.
+        sync_compression: pipeline spec for the rFedAvg+ second
+            synchronization (the model re-broadcast and the per-client
+            delta re-upload — the ``O(d N)`` term).  'none' keeps the
+            exchange dense.  Ignored by algorithms without a second
+            synchronization.
     """
 
     rounds: int = 30
@@ -235,6 +270,9 @@ class FLConfig:
     state_sharding: str = "auto"
     state_cap: int | None = None
     state_dir: str | None = None
+    compression: str = "none"
+    error_feedback: bool = True
+    sync_compression: str = "none"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -274,6 +312,8 @@ class FLConfig:
         validate_choice("state_sharding", self.state_sharding)
         if self.state_cap is not None and self.state_cap < 1:
             raise ConfigError("state_cap must be >= 1 (or None for no cap)")
+        validate_compression_spec(self.compression)
+        validate_compression_spec(self.sync_compression)
 
     def wire_bytes_per_scalar(self) -> int:
         """Resolved per-scalar wire width: the explicit override, or the

@@ -94,6 +94,12 @@ class ClientUpdate:
         wire_size: exact on-wire footprint of the upload
             (:class:`~repro.fl.compression.WireSize`); ``None`` falls
             back to legacy scalar accounting.
+        residual: the client's next error-feedback accumulator
+            ``e_{t+1}`` when upload compression runs with error
+            feedback; committed to the server-side residual table in
+            selection order.  Simulation bookkeeping — in a real
+            deployment this state never leaves the client, so it is
+            not charged to the ledger.
     """
 
     client_id: int
@@ -107,6 +113,7 @@ class ClientUpdate:
     payload: dict | None = None
     params_streams: dict | None = None
     wire_size: WireSize | None = None
+    residual: np.ndarray | None = None
 
 
 class ClientExecutor:

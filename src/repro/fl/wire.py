@@ -234,6 +234,8 @@ def pack_client_update(update) -> bytes:
         segments[f"f.{field}"] = float(getattr(update, field))
     if update.params is not None:
         segments["params"] = update.params
+    if update.residual is not None:
+        segments["residual"] = update.residual
     if update.wire_size is not None:
         ws = update.wire_size
         legacy_scalars = -1 if ws.legacy_scalars is None else int(ws.legacy_scalars)
@@ -264,6 +266,7 @@ def unpack_client_update(buf):
     streams: dict[str, np.ndarray] = {}
     payload: dict[str, object] = {}
     params = None
+    residual = None
     wire_size = None
     for name, value in segments.items():
         prefix, _, rest = name.partition(".")
@@ -275,6 +278,8 @@ def unpack_client_update(buf):
             payload[rest] = value
         elif name == "params":
             params = value
+        elif name == "residual":
+            residual = value
         elif name == "wire_size":
             values, index_ints, raw_bytes, legacy_scalars, legacy = (
                 int(x) for x in value
@@ -303,4 +308,5 @@ def unpack_client_update(buf):
         payload=payload or None,
         params_streams=streams or None,
         wire_size=wire_size,
+        residual=residual,
     )

@@ -152,8 +152,12 @@ def test_invalid_configs(cls, kwargs):
         cls(**kwargs)
 
 
-def test_factory():
-    assert isinstance(make_compressor("none"), NoCompression)
+def test_factory_is_deprecated_but_delegates(monkeypatch):
+    import repro.fl.compression as comp
+
+    monkeypatch.setattr(comp, "_MAKE_COMPRESSOR_WARNED", False)
+    with pytest.deprecated_call():
+        assert isinstance(make_compressor("none"), NoCompression)
     assert isinstance(make_compressor("topk", ratio=0.1), TopKSparsifier)
     assert isinstance(make_compressor("quantize", bits=4), UniformQuantizer)
     with pytest.raises(ConfigError):
