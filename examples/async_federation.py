@@ -8,9 +8,9 @@ in hand — stale arrivals discounted by ``(1 + staleness)^-a``.  With
 the discount the stragglers' stale updates are damped; without one
 they drag the model around.
 
-The standalone FedAsync reference sim (``repro.fl.async_sim``) still
-exists for the pure one-update-per-arrival protocol; this example uses
-the first-class engine so the buffered run composes with algorithms,
+The standalone FedAsync reference sim (``repro.fl.async_sim``) is
+deprecated — ``buffer_size=1`` with a per-client runtime reproduces its
+protocol through the engine, which also composes with algorithms,
 checkpointing and tracing.
 
     python examples/async_federation.py

@@ -79,6 +79,15 @@ class FederatedAlgorithm:
     # this False to force the fork-per-round pickle engine.
     wire_transport_safe = True
 
+    # Whether the round can run independently per region under a
+    # hierarchical topology (R > 1): per-client tables partition by
+    # region ownership and algorithm-global server state updates once
+    # per region aggregation.  An algorithm whose round semantics
+    # require exactly one current global model (rfedavg_exact's
+    # full-population delta refresh) sets this False and the
+    # hierarchical engine refuses R > 1.
+    region_aggregation_safe = True
+
     def __init__(self) -> None:
         self.model: SplitModel | None = None
         self.fed: FederatedDataset | None = None

@@ -31,6 +31,12 @@ class RFedAvgExact(RFedAvgPlus):
 
     name = "rfedavg_exact"
 
+    # _pre_round refreshes the deltas of *all* clients from one current
+    # global model; with several drifting region models that notion is
+    # ill-defined, so the hierarchical engine refuses R > 1 (hier:1:P
+    # still works — one region is one global model).
+    region_aggregation_safe = False
+
     def __init__(
         self,
         lam: float = 1e-4,

@@ -37,6 +37,7 @@ SECTION_HISTORY = "history"
 SECTION_METRICS = "metrics"
 SECTION_FAULTS = "faults"
 SECTION_ASYNC = "async"
+SECTION_HIERARCHY = "hierarchy"
 
 
 def rng_state(generator: np.random.Generator) -> dict:

@@ -134,6 +134,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-error-feedback", action="store_true",
                      help="disable the per-client error-feedback residuals "
                           "under lossy compression (ablation)")
+    run.add_argument("--topology", default="flat", metavar="SPEC",
+                     help="aggregation topology: flat (one server) or "
+                          "hier:R:P (R regions aggregate their client slices "
+                          "in parallel, cloud sync every P rounds; hier:1:1 "
+                          "is bit-identical to flat)")
+    run.add_argument("--cloud-compression", default="none", metavar="SPEC",
+                     help="compression pipeline for the region->cloud uplink "
+                          "of hierarchical runs (default none)")
     run.add_argument("--trace", action="store_true",
                      help="collect per-round spans and byte/metric counters")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -294,6 +302,8 @@ def _command_run(args) -> int:
         compression=args.compression,
         sync_compression=args.sync_compression,
         error_feedback=not args.no_error_feedback,
+        topology=args.topology,
+        cloud_compression=args.cloud_compression,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,

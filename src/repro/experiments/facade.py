@@ -214,6 +214,8 @@ def run_experiment(
     compression: str | None = None,
     sync_compression: str | None = None,
     error_feedback: bool | None = None,
+    topology: str | None = None,
+    cloud_compression: str | None = None,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -259,6 +261,13 @@ def run_experiment(
         error_feedback: keep per-client error-feedback residuals under
             lossy compression (default True; shorthand for the config
             override).
+        topology: aggregation topology — 'flat' (default) or
+            'hier:R:P' (R regions aggregating in parallel, cloud sync
+            every P rounds; see :mod:`repro.fl.hierarchy`); shorthand
+            for the ``topology`` config override.
+        cloud_compression: compression pipeline spec for the region ->
+            cloud uplink of hierarchical runs (shorthand for the config
+            override).
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -296,6 +305,10 @@ def run_experiment(
         config_overrides = {**config_overrides, "sync_compression": sync_compression}
     if error_feedback is not None:
         config_overrides = {**config_overrides, "error_feedback": error_feedback}
+    if topology is not None:
+        config_overrides = {**config_overrides, "topology": topology}
+    if cloud_compression is not None:
+        config_overrides = {**config_overrides, "cloud_compression": cloud_compression}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)

@@ -202,10 +202,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "ext_async_hierarchy",
             "Deployment regimes (extension)",
-            "Asynchronous staleness-weighted FL; hierarchical edge/cloud FL",
-            "synth_mnist Sim 0%, heterogeneous speeds / 2 edges",
+            "Asynchronous staleness-weighted FL; hierarchical region/cloud FL",
+            "synth_mnist Sim 0%, heterogeneous speeds / 2 regions",
             {},
-            ("repro.fl.async_engine", "repro.fl.async_sim", "repro.fl.hierarchy"),
+            ("repro.fl.async_engine", "repro.fl.hierarchy"),
             "benchmarks/test_extension_async_hierarchy.py",
         ),
         ExperimentSpec(

@@ -18,9 +18,10 @@ compression
 adaptive client selection (:mod:`repro.fl.selection`), event-driven
 asynchronous execution with buffered staleness-aware aggregation
 (:mod:`repro.fl.async_engine` behind ``FLConfig(execution="async")``,
-with per-client latency models in :mod:`repro.fl.runtime` and the
-standalone FedAsync reference sim in :mod:`repro.fl.async_sim`), and
-hierarchical edge/cloud aggregation (:mod:`repro.fl.hierarchy`).
+with per-client latency models in :mod:`repro.fl.runtime`; the old
+standalone FedAsync sim :mod:`repro.fl.async_sim` is deprecated), and
+region-parallel hierarchical aggregation (:mod:`repro.fl.hierarchy`
+behind ``FLConfig(topology="hier:R:P")``).
 """
 
 from repro.fl.config import (
@@ -70,7 +71,6 @@ from repro.fl.async_engine import (
     AsyncUpdateRecord,
     run_async_federated_engine,
 )
-from repro.fl.async_sim import AsyncConfig, run_async_federated
 from repro.fl.runtime import (
     ClientRuntime,
     GaussianRuntime,
@@ -78,13 +78,32 @@ from repro.fl.runtime import (
     TraceRuntime,
     make_runtime,
 )
-from repro.fl.hierarchy import HierarchyConfig, HierarchicalHistory, assign_edges, run_hierarchical
+from repro.fl.hierarchy import (
+    HierarchyConfig,
+    HierarchicalHistory,
+    RegionSet,
+    assign_edges,
+    run_hier_federated,
+    run_hierarchical,
+)
 from repro.fl.selection import (
     ClientSelector,
     SelectionContext,
     UniformSelector,
     PowerOfChoiceSelector,
 )
+
+
+def __getattr__(name):
+    # repro.fl.async_sim warns DeprecationWarning at import time (it is
+    # superseded by repro.fl.async_engine); loading it lazily keeps the
+    # warning off the package import path until someone actually uses
+    # the deprecated names.
+    if name in ("AsyncConfig", "run_async_federated"):
+        from repro.fl import async_sim
+
+        return getattr(async_sim, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "FLConfig",
@@ -143,6 +162,8 @@ __all__ = [
     "run_async_federated_engine",
     "HierarchyConfig",
     "HierarchicalHistory",
+    "RegionSet",
     "assign_edges",
+    "run_hier_federated",
     "run_hierarchical",
 ]

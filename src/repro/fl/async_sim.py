@@ -1,14 +1,16 @@
-"""Standalone FedAsync simulation (the lightweight, single-purpose sim).
+"""Standalone FedAsync simulation (deprecated).
 
-.. note::
-   The first-class asynchronous execution path is
-   :mod:`repro.fl.async_engine` — run any registered algorithm with
-   ``FLConfig(execution="async", runtime=...)`` and it goes through the
-   event-driven buffered engine with parallel execution, checkpointing
-   and observability.  This module remains as the minimal pure-FedAsync
-   reference: one client per server update, continuous re-dispatch, no
-   buffering, no algorithm plug-in.  The record/history types are shared
-   with the engine.
+.. deprecated::
+   This module is superseded by :mod:`repro.fl.async_engine` — run any
+   registered algorithm with ``FLConfig(execution="async", runtime=...)``
+   and it goes through the event-driven buffered engine with parallel
+   execution, checkpointing and observability (``buffer_size=1`` with a
+   per-client runtime reproduces the one-update-at-a-time FedAsync
+   server).  Importing this module emits a :class:`DeprecationWarning`;
+   it will be removed in a future cleanup.  It remains, for now, as the
+   minimal pure-FedAsync reference: one client per server update,
+   continuous re-dispatch, no buffering, no algorithm plug-in.  The
+   record/history types are shared with the engine.
 
 The paper's algorithms are synchronous — every round waits for all
 selected clients.  Real cross-device fleets are asynchronous: clients
@@ -31,10 +33,20 @@ the async pathology the staleness discount exists to contain.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+
+warnings.warn(
+    "repro.fl.async_sim is deprecated; use the first-class async engine — "
+    "FLConfig(execution='async', runtime=..., buffer_size=1) through "
+    "run_federated() — which runs every registered algorithm with "
+    "parallel execution, checkpointing and observability",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.data.dataset import FederatedDataset
 from repro.exceptions import ConfigError

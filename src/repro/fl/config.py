@@ -29,6 +29,7 @@ SAMPLER_KINDS = ("uniform", "reservoir", "stratified")
 HISTORY_MODES = ("append", "stream")
 STATE_SHARDING_MODES = ("auto", "dense", "sharded")
 COMPRESSION_STAGES = ("none", "topk", "randk", "subsample", "sketch", "qsgd", "sign", "quantize")
+TOPOLOGY_KINDS = ("flat", "hier")
 
 CHOICES: dict[str, tuple[str, ...]] = {
     "executor": EXECUTOR_MODES,
@@ -41,6 +42,7 @@ CHOICES: dict[str, tuple[str, ...]] = {
     "history_mode": HISTORY_MODES,
     "state_sharding": STATE_SHARDING_MODES,
     "compression": COMPRESSION_STAGES,
+    "topology": TOPOLOGY_KINDS,
 }
 
 
@@ -107,6 +109,53 @@ def validate_compression_spec(spec) -> str:
     from repro.fl.compression import parse_compression_spec
 
     parse_compression_spec(spec)
+    return spec
+
+
+def parse_topology_spec(spec) -> tuple[int, int]:
+    """Parse a ``topology`` spec into ``(num_regions, edge_period)``.
+
+    Grammar: ``'flat'`` (a single global aggregator, the historical
+    engine — parsed as one region syncing every round) or
+    ``'hier:R:P'`` — R >= 1 regions each aggregating their own client
+    slice every round, with a cloud synchronization averaging the
+    region models every P >= 1 rounds.  ``'hier:1:1'`` is the
+    degenerate hierarchy, bit-identical to ``'flat'`` by contract.
+    """
+    text = str(spec)
+    kind, _, rest = text.partition(":")
+    validate_choice("topology", kind)
+    if kind == "flat":
+        if rest:
+            raise ConfigError(f"topology 'flat' takes no parameters, got {spec!r}")
+        return 1, 1
+    parts = rest.split(":") if rest else []
+    if len(parts) != 2:
+        raise ConfigError(
+            f"topology 'hier' needs exactly two parameters 'hier:R:P' "
+            f"(R regions, cloud sync every P rounds), got {spec!r}"
+        )
+    try:
+        num_regions, edge_period = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigError(
+            f"topology parameters must be integers ('hier:R:P'), got {spec!r}"
+        ) from None
+    if num_regions < 1:
+        raise ConfigError(f"topology needs R >= 1 regions, got {num_regions}")
+    if edge_period < 1:
+        raise ConfigError(f"topology needs edge period P >= 1, got {edge_period}")
+    return num_regions, edge_period
+
+
+def validate_topology_spec(spec) -> str:
+    """Validate a ``topology`` spec string (``'flat'`` | ``'hier:R:P'``).
+
+    The kind is registry-checked (typo suggestions included) and the
+    parameters fully parsed by :func:`parse_topology_spec`, so a bad
+    spec fails at config construction, not mid-run.
+    """
+    parse_topology_spec(spec)
     return spec
 
 
@@ -237,6 +286,21 @@ class FLConfig:
             delta re-upload — the ``O(d N)`` term).  'none' keeps the
             exchange dense.  Ignored by algorithms without a second
             synchronization.
+        topology: aggregation topology — 'flat' (one global server, the
+            historical engine) or 'hier:R:P' (R regions each aggregate
+            their own contiguous client slice every round; a cloud step
+            averages the region models every P rounds and only that hop
+            is charged as expensive 'cloud-model' traffic — see
+            :mod:`repro.fl.hierarchy` and ``docs/hierarchy.md``).
+            'hier:1:1' is bit-identical to 'flat'.  Numerically
+            relevant for R > 1 or P > 1, hence part of the checkpoint
+            config hash; hierarchical runs require
+            ``execution='sync'``.
+        cloud_compression: compression pipeline spec for the region ->
+            cloud uplink of a hierarchical run (each region uploads its
+            model as a lossy delta against the last cloud model; the
+            cloud averages the reconstructions).  'none' (default)
+            keeps the hop dense.  Ignored under ``topology='flat'``.
     """
 
     rounds: int = 30
@@ -273,6 +337,8 @@ class FLConfig:
     compression: str = "none"
     error_feedback: bool = True
     sync_compression: str = "none"
+    topology: str = "flat"
+    cloud_compression: str = "none"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -314,6 +380,14 @@ class FLConfig:
             raise ConfigError("state_cap must be >= 1 (or None for no cap)")
         validate_compression_spec(self.compression)
         validate_compression_spec(self.sync_compression)
+        validate_topology_spec(self.topology)
+        validate_compression_spec(self.cloud_compression)
+        if self.topology != "flat" and self.execution == "async":
+            raise ConfigError(
+                "hierarchical topology requires execution='sync'; the async "
+                "engine has no region tier (run topology='flat' async, or "
+                "sync hierarchical)"
+            )
 
     def wire_bytes_per_scalar(self) -> int:
         """Resolved per-scalar wire width: the explicit override, or the

@@ -126,6 +126,33 @@ class ClientExecutor:
         """Return one :class:`ClientUpdate` per client, in input order."""
         raise NotImplementedError
 
+    def run_regions(
+        self,
+        algorithm,
+        round_idx: int,
+        regions: list[tuple[np.ndarray, np.ndarray]],
+    ) -> list[list[ClientUpdate]]:
+        """Run several regions' cohorts, each against its own model.
+
+        ``regions`` is a list of ``(client_ids, region_params)`` pairs
+        (the hierarchical engine's per-region sub-cohorts).  Returns one
+        update list per region, each in input order.  The base
+        implementation runs regions sequentially through :meth:`run`
+        with the region's parameters installed; the wire-transport pool
+        overrides this to run *all* regions' clients concurrently.
+        Determinism contract as :meth:`run`: per-client work depends
+        only on ``(seed, round, client)`` and the installed region
+        state, so scheduling cannot change the numbers.
+        """
+        out: list[list[ClientUpdate]] = []
+        for client_ids, params in regions:
+            if not len(client_ids):
+                out.append([])
+                continue
+            algorithm.global_params = params
+            out.append(self.run(algorithm, round_idx, [int(c) for c in client_ids]))
+        return out
+
     def close(self) -> None:
         """Release pools / shared buffers.  The executor stays usable —
         resources are re-created lazily on the next :meth:`run`."""
@@ -154,6 +181,10 @@ class SerialExecutor(ClientExecutor):
 _WORKER_ALGORITHM = None
 _WORKER_STATE_BUF: mmap.mmap | None = None
 _WORKER_STATE_SEQ = 0
+# The unpacked round-state dict of the currently installed sequence —
+# hierarchical tasks look their region's parameter segment up here
+# before running (see _run_hier_wire_task).
+_WORKER_STATE: dict | None = None
 
 # Shared-memory round-state layout: [u64 payload length][u64 sequence]
 # then the packed state message.  The sequence number (monotone in the
@@ -185,12 +216,14 @@ def _install_round_state() -> None:
     submitted), so reading here never races a write, and the zero-copy
     views stay valid for the whole round they are used in.
     """
-    global _WORKER_STATE_SEQ
+    global _WORKER_STATE_SEQ, _WORKER_STATE
     length, seq = _STATE_HEADER.unpack_from(_WORKER_STATE_BUF, 0)
     if seq == _WORKER_STATE_SEQ:
         return
     view = memoryview(_WORKER_STATE_BUF)[_STATE_HEADER.size : _STATE_HEADER.size + length]
-    _WORKER_ALGORITHM._install_worker_state(wire.unpack_state(view))
+    state = wire.unpack_state(view)
+    _WORKER_ALGORITHM._install_worker_state(state)
+    _WORKER_STATE = state
     _WORKER_STATE_SEQ = seq
 
 
@@ -214,6 +247,31 @@ def _run_wire_task(
     falls back to the pickled record for that client only.
     """
     _install_round_state()
+    pid = os.getpid()
+    out: list[tuple[int, bytes | ClientUpdate]] = []
+    for position, client_id in slots:
+        update = _WORKER_ALGORITHM._client_update(round_idx, client_id)
+        update.worker = pid
+        try:
+            out.append((position, wire.pack_client_update(update)))
+        except WireError:
+            out.append((position, update))
+    return out
+
+
+def _run_hier_wire_task(
+    round_idx: int, region: int, slots: list[tuple[int, int]]
+) -> list[tuple[int, bytes | ClientUpdate]]:
+    """Wire-transport task bound to one region of a hierarchical round.
+
+    The broadcast round state carries every region's model as a
+    ``hier.<r>`` segment; the task installs the shared state once per
+    sequence, then points ``global_params`` at its own region's segment
+    before running — so one persistent pool serves all regions of a
+    round concurrently.
+    """
+    _install_round_state()
+    _WORKER_ALGORITHM.global_params = _WORKER_STATE[f"hier.{region}"]
     pid = os.getpid()
     out: list[tuple[int, bytes | ClientUpdate]] = []
     for position, client_id in slots:
@@ -377,6 +435,94 @@ class ParallelExecutor(ClientExecutor):
             raise RuntimeError(f"workers returned no result for clients {missing}")
         return results  # type: ignore[return-value]
 
+    def _run_hier_wire_pool(
+        self,
+        algorithm,
+        round_idx: int,
+        regions: list[tuple[np.ndarray, np.ndarray]],
+    ) -> list[list[ClientUpdate]]:
+        """Run every region's cohort concurrently on the persistent pool.
+
+        One broadcast carries the shared algorithm state plus every
+        region's model (``hier.<r>`` segments); tasks from all regions
+        share the worker pool, so regions aggregate-in-parallel instead
+        of waiting on each other — the hierarchical engine's multi-core
+        speedup.  Results are slotted back per region in input order.
+        """
+        state = algorithm._worker_state()
+        for r, (_ids, params) in enumerate(regions):
+            state[f"hier.{r}"] = params
+        packed = wire.pack_state(state)
+        self._ensure_wire_pool(algorithm, len(packed))
+        self._broadcast_state(packed)
+        results: list[list[ClientUpdate | None]] = [
+            [None] * len(ids) for ids, _params in regions
+        ]
+        future_region = {}
+        for r, (client_ids, _params) in enumerate(regions):
+            if not len(client_ids):
+                continue
+            for task in self._tasks([int(c) for c in client_ids]):
+                future = self._pool.submit(_run_hier_wire_task, round_idx, r, task)
+                future_region[future] = r
+        for future in as_completed(future_region):
+            r = future_region[future]
+            for position, item in future.result():
+                if isinstance(item, (bytes, bytearray)):
+                    item = wire.unpack_client_update(item)
+                results[r][position] = item
+        missing = [
+            (r, int(regions[r][0][i]))
+            for r, slots in enumerate(results)
+            for i, u in enumerate(slots)
+            if u is None
+        ]
+        if missing:
+            raise RuntimeError(
+                f"workers returned no result for (region, client) {missing}"
+            )
+        return results  # type: ignore[return-value]
+
+    def run_regions(
+        self,
+        algorithm,
+        round_idx: int,
+        regions: list[tuple[np.ndarray, np.ndarray]],
+    ) -> list[list[ClientUpdate]]:
+        live = sum(1 for ids, _params in regions if len(ids))
+        if (
+            self._fallback is not None
+            or live <= 1
+            or not self._use_wire(algorithm)
+            or "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            # Sequential per-region dispatch; run() itself handles
+            # degradation, fork availability and the pickle transport.
+            return super().run_regions(algorithm, round_idx, regions)
+        started = time.perf_counter()
+        try:
+            results = self._run_hier_wire_pool(algorithm, round_idx, regions)
+        except WireError as exc:
+            self._close_wire()
+            warnings.warn(
+                f"packed wire transport unavailable ({exc}); "
+                "falling back to sequential region execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.transport = "pickle"
+            return super().run_regions(algorithm, round_idx, regions)
+        except Exception as exc:  # worker crash, pickling failure, pool breakage
+            self._degrade(f"worker pool failed: {exc!r}")
+            return super().run_regions(algorithm, round_idx, regions)
+        elapsed = time.perf_counter() - started
+        self._record_metrics(
+            algorithm.tracer,
+            [update for slots in results for update in slots],
+            elapsed,
+        )
+        return results
+
     def _dispatch(self, algorithm, round_idx: int, client_ids: list[int]) -> list[ClientUpdate]:
         if self._use_wire(algorithm):
             try:
@@ -457,14 +603,21 @@ def make_executor(config) -> ClientExecutor:
     """Build the engine an :class:`~repro.fl.config.FLConfig` asks for.
 
     ``executor='auto'`` picks the process pool whenever
-    ``num_workers > 1`` and the serial loop otherwise; ``'serial'``,
-    ``'process'`` and ``'chunked'`` force a specific engine.  The
-    config's ``transport`` selects how the pool moves payloads.
+    ``num_workers > 1`` **and** the host has more than one CPU — on a
+    single-core host pool overhead always exceeds the parallel gain
+    (the cpu_bound regime in BENCH_parallel.json), so auto resolves to
+    the serial loop there.  ``'serial'``, ``'process'`` and
+    ``'chunked'`` force a specific engine (an explicit ``'process'``
+    run on one core still gets the ``parallel_hint`` span instead of a
+    silent downgrade).  The config's ``transport`` selects how the pool
+    moves payloads.
     """
     mode = getattr(config, "executor", "auto")
     workers = int(getattr(config, "num_workers", 1))
     transport = getattr(config, "transport", "wire")
     validate_choice("executor", mode)
-    if mode == "serial" or (mode == "auto" and workers <= 1):
+    if mode == "serial" or (
+        mode == "auto" and (workers <= 1 or (os.cpu_count() or 1) <= 1)
+    ):
         return SerialExecutor()
     return ParallelExecutor(workers, chunked=(mode == "chunked"), transport=transport)

@@ -54,6 +54,7 @@ def run_federated(
     selector=None,
     tracer=None,
     runtime=None,
+    region_observer=None,
     **removed,
 ) -> History:
     """Run one federated training job and return its :class:`History`.
@@ -78,6 +79,9 @@ def run_federated(
             instance overriding ``config.runtime`` (async execution
             only); config specs cover the common models, an object here
             covers bespoke ones.
+        region_observer: hierarchical topologies only — a callable
+            invoked once per round with the per-region state dict (see
+            :func:`repro.fl.hierarchy.run_hier_federated`).
     """
     if "progress" in removed:
         raise TypeError(
@@ -96,6 +100,31 @@ def run_federated(
     # it automatically.
     with default_dtype(config.dtype):
         try:
+            if getattr(config, "topology", "flat") != "flat":
+                from repro.fl.hierarchy import run_hier_federated
+
+                # execution='async' + hierarchy is rejected at config
+                # construction; runtime= is likewise an async-only knob.
+                if runtime is not None:
+                    raise ConfigError(
+                        "runtime= is an async-execution knob; set execution='async'"
+                    )
+                return run_hier_federated(
+                    algorithm,
+                    fed,
+                    model_fn,
+                    config,
+                    eval_per_client=eval_per_client,
+                    callbacks=callbacks,
+                    selector=selector,
+                    tracer=tracer,
+                    region_observer=region_observer,
+                )
+            if region_observer is not None:
+                raise ConfigError(
+                    "region_observer= requires a hierarchical topology; set "
+                    "topology='hier:R:P'"
+                )
             if config.execution == "async":
                 from repro.fl.async_engine import run_async_federated_engine
 

@@ -1,11 +1,25 @@
-"""Asynchronous FL simulation tests."""
+"""Asynchronous FL simulation tests (deprecated standalone sim)."""
+
+import importlib
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ConfigError
-from repro.fl.async_sim import AsyncConfig, run_async_federated
+
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.fl.async_sim import AsyncConfig, run_async_federated
+
 from repro.models import build_mlp
+
+
+def test_import_warns_deprecation():
+    import repro.fl.async_sim as async_sim
+
+    with pytest.warns(DeprecationWarning, match="async_sim is deprecated"):
+        importlib.reload(async_sim)
 
 
 def _model_fn(fed, seed=0):

@@ -34,11 +34,33 @@ def test_make_executor_auto_serial_when_single_worker():
     assert isinstance(make_executor(_config()), SerialExecutor)
 
 
-def test_make_executor_auto_process_when_multiple_workers():
+def test_make_executor_auto_process_when_multiple_workers(monkeypatch):
+    import repro.fl.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 8)
     executor = make_executor(_config(num_workers=3))
     assert isinstance(executor, ParallelExecutor)
     assert executor.num_workers == 3
     assert not executor.chunked
+
+
+def test_make_executor_auto_serial_on_single_core(monkeypatch):
+    """'auto' resolves to serial on a 1-CPU box — a process pool there
+    only adds IPC overhead.  Explicit executor='process' still wins (and
+    gets the parallel_hint span instead)."""
+    import repro.fl.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+    assert isinstance(make_executor(_config(num_workers=4)), SerialExecutor)
+    forced = make_executor(_config(num_workers=4, executor="process"))
+    assert isinstance(forced, ParallelExecutor)
+
+
+def test_make_executor_auto_serial_when_cpu_count_unknown(monkeypatch):
+    import repro.fl.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: None)
+    assert isinstance(make_executor(_config(num_workers=4)), SerialExecutor)
 
 
 def test_make_executor_forced_modes():
@@ -88,7 +110,12 @@ def test_chunked_tasks_never_exceed_client_count():
 def test_setup_builds_executor_from_config():
     fed = make_toy_federation(similarity=0.0)
     algorithm = FedAvg()
-    run_federated(algorithm, fed, tiny_model_fn(fed), _config(num_workers=2, rounds=1))
+    # executor='process' explicitly: 'auto' resolves to serial on a
+    # single-core machine, which would make this test box-dependent.
+    run_federated(
+        algorithm, fed, tiny_model_fn(fed),
+        _config(num_workers=2, rounds=1, executor="process"),
+    )
     assert isinstance(algorithm.executor, ParallelExecutor)
 
 
@@ -115,7 +142,10 @@ def test_fork_unavailable_degrades_to_serial(monkeypatch):
 
     parallel_alg = FedAvg()
     with pytest.warns(RuntimeWarning, match="fork"):
-        run_federated(parallel_alg, fed, tiny_model_fn(fed), _config(num_workers=4))
+        run_federated(
+            parallel_alg, fed, tiny_model_fn(fed),
+            _config(num_workers=4, executor="process"),
+        )
     assert parallel_alg.executor.degraded
     np.testing.assert_array_equal(serial_alg.global_params, parallel_alg.global_params)
 
@@ -128,7 +158,8 @@ def test_traced_parallel_run_preserves_span_structure_and_reports_workers():
     tracer = Tracer()
     algorithm = FedAvg()
     run_federated(
-        algorithm, fed, tiny_model_fn(fed), _config(num_workers=2, rounds=2), tracer=tracer
+        algorithm, fed, tiny_model_fn(fed),
+        _config(num_workers=2, rounds=2, executor="process"), tracer=tracer,
     )
     rounds = tracer.find("round")
     assert len(rounds) == 2

@@ -99,7 +99,7 @@ def test_unsafe_algorithm_uses_pickle_engine(fed):
         name = "fedavg"
         wire_transport_safe = False
 
-    config = _config(seed=16, num_workers=WORKERS)
+    config = _config(seed=16, num_workers=WORKERS, executor="process")
     serial = run_with_workers("fedavg", {}, fed, _config(seed=16), num_workers=1)
     opted_out = _OptedOut()
     history = run_federated(opted_out, fed, tiny_model_fn(fed), config)

@@ -152,7 +152,9 @@ def test_worker_crash_degrades_to_serial_with_identical_results(fed, transport):
     with pytest.warns(RuntimeWarning, match="worker pool failed"):
         crashing_hist = run_federated(
             crashing, fed, tiny_model_fn(fed),
-            config.with_updates(num_workers=4, transport=transport),
+            config.with_updates(
+                num_workers=4, executor="process", transport=transport
+            ),
         )
     assert crashing.executor.degraded
     assert crashing.executor._pool is None and crashing.executor._mmap is None

@@ -135,6 +135,12 @@ def run_with_workers(
     from repro.algorithms import make_algorithm
     from repro.fl.trainer import run_federated
 
+    if executor == "auto" and num_workers > 1:
+        # The harness's contract is "run with this worker count":
+        # 'auto' resolves to serial on single-core machines, which would
+        # silently drop the parallel leg of every equivalence matrix on
+        # a 1-CPU box, so force the process pool explicitly.
+        executor = "process"
     run_config = config.with_updates(
         num_workers=num_workers, executor=executor, transport=transport
     )
