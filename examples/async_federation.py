@@ -8,10 +8,9 @@ in hand — stale arrivals discounted by ``(1 + staleness)^-a``.  With
 the discount the stragglers' stale updates are damped; without one
 they drag the model around.
 
-The standalone FedAsync reference sim (``repro.fl.async_sim``) is
-deprecated — ``buffer_size=1`` with a per-client runtime reproduces its
-protocol through the engine, which also composes with algorithms,
-checkpointing and tracing.
+``buffer_size=1`` with a per-client runtime reproduces the classic
+one-update-per-arrival FedAsync protocol through the engine, which also
+composes with algorithms, checkpointing and tracing.
 
     python examples/async_federation.py
 """

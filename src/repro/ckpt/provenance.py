@@ -43,6 +43,12 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "state_sharding",
         "state_cap",
         "state_dir",
+        "serve_addr",
+        "serve_timeout",
+        "serve_retries",
+        "serve_backoff",
+        "serve_max_inflight",
+        "serve_queue_bytes",
     }
 )
 
@@ -54,6 +60,10 @@ def config_hash(config) -> str:
         if field.name in _EXECUTION_ONLY_FIELDS:
             continue
         value = getattr(config, field.name)
+        if field.name == "execution" and value == "serve":
+            # Serve mode is the sync protocol over sockets, bit-identical
+            # by contract — serve and sync checkpoints interchange.
+            value = "sync"
         if field.name == "lr_schedule" and value is not None:
             # Schedules are plain objects; hash their type + attributes.
             value = {

@@ -94,9 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="compute precision: float32 (~2x faster) or float64 "
                           "(the bit-reproducible default)")
     run.add_argument("--execution", default="sync",
-                     help="round execution: sync (barrier rounds) or async "
+                     help="round execution: sync (barrier rounds), async "
                           "(event-driven buffered aggregation with staleness "
-                          "discounting)")
+                          "discounting), or serve (client workers in separate "
+                          "processes over real TCP/Unix-domain sockets, "
+                          "bit-identical to sync)")
+    run.add_argument("--serve-addr", default=None, metavar="ADDR",
+                     help="--execution serve listen address: tcp:HOST:PORT "
+                          "(port 0 = ephemeral) or uds:/path.sock (default: "
+                          "an ephemeral Unix-domain socket)")
+    run.add_argument("--serve-timeout", type=float, default=30.0, metavar="SEC",
+                     help="serve mode: stall deadline before degrading to "
+                          "in-process execution (default 30)")
+    run.add_argument("--serve-retries", type=int, default=5, metavar="N",
+                     help="serve mode: worker connect/write retry attempts "
+                          "(default 5)")
+    run.add_argument("--serve-backoff", type=float, default=0.05, metavar="SEC",
+                     help="serve mode: initial retry backoff, doubled per "
+                          "attempt (default 0.05)")
     run.add_argument("--runtime", default="instant",
                      help="per-client latency model for --execution async: "
                           "instant | gaussian[:mean=..,std=..,het=..] | "
@@ -291,6 +306,10 @@ def _command_run(args) -> int:
         transport=args.transport,
         dtype=args.dtype,
         execution=args.execution,
+        serve_addr=args.serve_addr,
+        serve_timeout=args.serve_timeout,
+        serve_retries=args.serve_retries,
+        serve_backoff=args.serve_backoff,
         runtime=args.runtime,
         buffer_size=args.buffer_size,
         staleness_exponent=args.staleness_exponent,

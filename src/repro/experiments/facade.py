@@ -216,6 +216,8 @@ def run_experiment(
     error_feedback: bool | None = None,
     topology: str | None = None,
     cloud_compression: str | None = None,
+    serve_addr: str | None = None,
+    serve_timeout: float | None = None,
 ) -> tuple[History, Path | None]:
     """Run the named experiment preset; return ``(history, artifacts_path)``.
 
@@ -236,9 +238,10 @@ def run_experiment(
         transport: parallel payload transport — 'wire' (packed
             shared-memory, the default) or 'pickle'; shorthand for the
             ``transport`` config override.
-        execution: 'sync' (default) or 'async' — the event-driven
-            buffered engine (:mod:`repro.fl.async_engine`); shorthand
-            for the ``execution`` config override.
+        execution: 'sync' (default), 'async' — the event-driven
+            buffered engine (:mod:`repro.fl.async_engine`) — or 'serve'
+            — the multi-process socket engine (:mod:`repro.serve`);
+            shorthand for the ``execution`` config override.
         runtime: per-client latency model spec for async execution
             ('instant', 'gaussian:het=2', 'trace:<path.json>');
             shorthand for the ``runtime`` config override.
@@ -268,6 +271,11 @@ def run_experiment(
         cloud_compression: compression pipeline spec for the region ->
             cloud uplink of hierarchical runs (shorthand for the config
             override).
+        serve_addr: listen address for ``execution='serve'``
+            (``'tcp:HOST:PORT'`` / ``'uds:/path.sock'``; shorthand for
+            the config override).
+        serve_timeout: serve-mode stall deadline in seconds (shorthand
+            for the config override).
 
     Returns:
         The run's :class:`History` and the artifact directory (``None``
@@ -309,6 +317,10 @@ def run_experiment(
         config_overrides = {**config_overrides, "topology": topology}
     if cloud_compression is not None:
         config_overrides = {**config_overrides, "cloud_compression": cloud_compression}
+    if serve_addr is not None:
+        config_overrides = {**config_overrides, "serve_addr": serve_addr}
+    if serve_timeout is not None:
+        config_overrides = {**config_overrides, "serve_timeout": serve_timeout}
     config = base_config(**{**preset.config, **config_overrides, "seed": seed})
     model_name = preset.model or ("lstm" if fed.spec.kind == "sequence" else "mlp")
     model_fn = default_model_fn(model_name, fed.spec, seed=seed, scale=preset.scale)

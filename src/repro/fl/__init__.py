@@ -18,10 +18,11 @@ compression
 adaptive client selection (:mod:`repro.fl.selection`), event-driven
 asynchronous execution with buffered staleness-aware aggregation
 (:mod:`repro.fl.async_engine` behind ``FLConfig(execution="async")``,
-with per-client latency models in :mod:`repro.fl.runtime`; the old
-standalone FedAsync sim :mod:`repro.fl.async_sim` is deprecated), and
+with per-client latency models in :mod:`repro.fl.runtime`),
 region-parallel hierarchical aggregation (:mod:`repro.fl.hierarchy`
-behind ``FLConfig(topology="hier:R:P")``).
+behind ``FLConfig(topology="hier:R:P")``), and multi-process serving
+over real sockets (:mod:`repro.serve` behind
+``FLConfig(execution="serve")``).
 """
 
 from repro.fl.config import (
@@ -42,6 +43,8 @@ from repro.fl.parallel import (
     make_executor,
 )
 from repro.fl.wire import (
+    FrameAssembler,
+    frame,
     pack,
     pack_client_update,
     pack_state,
@@ -94,17 +97,6 @@ from repro.fl.selection import (
 )
 
 
-def __getattr__(name):
-    # repro.fl.async_sim warns DeprecationWarning at import time (it is
-    # superseded by repro.fl.async_engine); loading it lazily keeps the
-    # warning off the package import path until someone actually uses
-    # the deprecated names.
-    if name in ("AsyncConfig", "run_async_federated"):
-        from repro.fl import async_sim
-
-        return getattr(async_sim, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "FLConfig",
     "CommLedger",
@@ -117,6 +109,8 @@ __all__ = [
     "make_executor",
     "pack",
     "unpack",
+    "frame",
+    "FrameAssembler",
     "pack_state",
     "unpack_state",
     "pack_client_update",
@@ -155,10 +149,8 @@ __all__ = [
     "GaussianRuntime",
     "TraceRuntime",
     "make_runtime",
-    "AsyncConfig",
     "AsyncHistory",
     "AsyncUpdateRecord",
-    "run_async_federated",
     "run_async_federated_engine",
     "HierarchyConfig",
     "HierarchicalHistory",

@@ -1,8 +1,7 @@
 """Event-driven asynchronous execution engine with buffered aggregation.
 
-This is the first-class promotion of the old :mod:`repro.fl.async_sim`
-toy: the same FedAsync-style staleness weighting (Xie et al. 2019), but
-built on the execute/commit/aggregate split of the parallel engine so
+FedAsync-style staleness weighting (Xie et al. 2019) built on the
+execute/commit/aggregate split of the parallel engine so
 **async is a scheduler swap, not an algorithm rewrite** — all ten
 registered algorithms run unmodified, parallel client execution and the
 packed wire transport included.

@@ -21,7 +21,7 @@ from repro.nn.optim import LRSchedule
 
 EXECUTOR_MODES = ("auto", "serial", "process", "chunked")
 TRANSPORTS = ("wire", "pickle")
-EXECUTION_MODES = ("sync", "async")
+EXECUTION_MODES = ("sync", "async", "serve")
 RUNTIME_KINDS = ("instant", "gaussian", "trace")
 OPTIMIZERS = ("sgd", "rmsprop", "adam")
 DTYPES = ("float32", "float64")
@@ -202,12 +202,15 @@ class FLConfig:
             agree to float32 precision but are not bit-identical to
             float64 runs).
         execution: protocol pacing — 'sync' (every round is a barrier:
-            the server waits for all selected clients) or 'async' (the
+            the server waits for all selected clients), 'async' (the
             event-driven engine of :mod:`repro.fl.async_engine`:
             per-client runtime models, a buffered server, and
-            staleness-weighted aggregation).  With instant runtimes and
-            a full-cohort buffer, 'async' reproduces 'sync' bit for
-            bit.
+            staleness-weighted aggregation), or 'serve' (the sync
+            protocol with clients trained in separate worker processes
+            speaking framed RFW1 messages over real TCP / Unix-domain
+            sockets — :mod:`repro.serve`, bit-identical to 'sync' by
+            contract).  With instant runtimes and a full-cohort buffer,
+            'async' reproduces 'sync' bit for bit.
         runtime: per-client latency model spec for async execution —
             'instant', 'gaussian[:mean=1,std=0.1,het=2]' or
             'trace:<path.json>' (see :mod:`repro.fl.runtime`).
@@ -301,6 +304,27 @@ class FLConfig:
             model as a lossy delta against the last cloud model; the
             cloud averages the reconstructions).  'none' (default)
             keeps the hop dense.  Ignored under ``topology='flat'``.
+        serve_addr: listen address for ``execution='serve'`` —
+            ``'tcp:HOST:PORT'`` (port 0 lets the OS pick) or
+            ``'uds:/path/to.sock'``.  ``None`` (default) uses an
+            ephemeral Unix-domain socket in a run-private temporary
+            directory.  Execution-only.
+        serve_timeout: serve mode's stall deadline in seconds — reset
+            on any socket progress; when the server sees no progress
+            for this long mid-round (all workers dead or wedged) the
+            round falls back to in-process serial execution.  Also the
+            worker-side socket timeout.
+        serve_retries: worker connect attempts before giving up
+            (each separated by exponential backoff).
+        serve_backoff: initial worker backoff in seconds, doubled per
+            retry (0.05 -> 0.1 -> 0.2 ...).
+        serve_max_inflight: serve-mode backpressure — at most this many
+            clients dispatched-but-uncommitted at once.  ``None``
+            (default) means twice the worker count.
+        serve_queue_bytes: per-connection bound on queued outbound
+            bytes; a connection whose write queue holds at least this
+            much gets no new task until it drains (one frame may always
+            be queued so progress never deadlocks).
     """
 
     rounds: int = 30
@@ -339,6 +363,12 @@ class FLConfig:
     sync_compression: str = "none"
     topology: str = "flat"
     cloud_compression: str = "none"
+    serve_addr: str | None = None
+    serve_timeout: float = 30.0
+    serve_retries: int = 5
+    serve_backoff: float = 0.05
+    serve_max_inflight: int | None = None
+    serve_queue_bytes: int = 8 << 20
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -388,6 +418,22 @@ class FLConfig:
                 "engine has no region tier (run topology='flat' async, or "
                 "sync hierarchical)"
             )
+        if self.serve_addr is not None:
+            from repro.serve.protocol import parse_serve_addr
+
+            parse_serve_addr(self.serve_addr)
+        if self.serve_timeout <= 0:
+            raise ConfigError("serve_timeout must be positive")
+        if self.serve_retries < 1:
+            raise ConfigError("serve_retries must be >= 1")
+        if self.serve_backoff < 0:
+            raise ConfigError("serve_backoff must be non-negative")
+        if self.serve_max_inflight is not None and self.serve_max_inflight < 1:
+            raise ConfigError(
+                "serve_max_inflight must be >= 1 (or None for 2x workers)"
+            )
+        if self.serve_queue_bytes < 1:
+            raise ConfigError("serve_queue_bytes must be positive")
 
     def wire_bytes_per_scalar(self) -> int:
         """Resolved per-scalar wire width: the explicit override, or the

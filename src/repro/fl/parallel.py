@@ -612,6 +612,13 @@ def make_executor(config) -> ClientExecutor:
     silent downgrade).  The config's ``transport`` selects how the pool
     moves payloads.
     """
+    if getattr(config, "execution", "sync") == "serve":
+        # The serving engine replaces the in-process pool wholesale:
+        # workers are socket-connected processes (:mod:`repro.serve`),
+        # and the executor/transport knobs do not apply.
+        from repro.serve.server import ServeExecutor
+
+        return ServeExecutor.from_config(config)
     mode = getattr(config, "executor", "auto")
     workers = int(getattr(config, "num_workers", 1))
     transport = getattr(config, "transport", "wire")

@@ -5,9 +5,13 @@ sampling, one algorithm round, periodic evaluation of the global model,
 and metric / communication bookkeeping.  It is algorithm-agnostic — all
 method-specific behaviour lives in :mod:`repro.algorithms` — and
 execution-agnostic: ``config.execution`` selects between the
-synchronous barrier loop here and the event-driven buffered engine in
+synchronous barrier loop here, the event-driven buffered engine in
 :mod:`repro.fl.async_engine` (a scheduler swap; with instant runtimes
-and a full-cohort buffer the two are bit-identical).
+and a full-cohort buffer the two are bit-identical), and
+``execution='serve'`` — the same synchronous loop with the per-client
+work running in socket-connected worker processes (:mod:`repro.serve`;
+``make_executor`` swaps the engine, so serve mode needs no trainer
+changes and is bit-identical to 'sync' by the executor contract).
 
 Observability: pass a :class:`repro.obs.Tracer` and every round emits a
 nested span tree (``round`` > ``sample`` / ``broadcast`` /

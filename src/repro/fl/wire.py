@@ -43,6 +43,16 @@ Three message kinds are used by the transport layer:
 Anything that cannot be expressed as named arrays / float / int
 segments raises :class:`~repro.exceptions.WireError`; callers treat
 that as "fall back to pickle", never as a fatal error.
+
+**Framing.**  In memory a message's extent is known from context (a
+shared-memory header stores the length).  On a byte stream — the
+multi-process serving subsystem (:mod:`repro.serve`) speaks RFW1 over
+TCP / Unix-domain sockets — messages are delimited by a little-endian
+``u64`` length prefix (:func:`frame`) and reassembled from arbitrarily
+fragmented reads by :class:`FrameAssembler`.  Truncated, torn, or
+oversized input must never escape as ``IndexError`` / ``struct.error``:
+both the assembler and :func:`unpack` validate every declared length
+and offset against the actual buffer and raise :class:`WireError`.
 """
 
 from __future__ import annotations
@@ -157,13 +167,22 @@ def unpack(buf) -> tuple[str, dict[str, object]]:
     view = memoryview(buf)
     if len(view) < _HEADER.size:
         raise WireError(f"message truncated: {len(view)} bytes")
-    magic, version, kind_code, nseg, header_len, total_len = _HEADER.unpack_from(view, 0)
+    try:
+        magic, version, kind_code, nseg, header_len, total_len = _HEADER.unpack_from(
+            view, 0
+        )
+    except struct.error as exc:  # non-contiguous / exotic buffer shapes
+        raise WireError(f"unreadable message header: {exc}") from exc
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
     if version != VERSION:
         raise WireError(f"unsupported wire version {version}")
     if kind_code not in _KIND_NAMES:
         raise WireError(f"unknown kind code {kind_code}")
+    if header_len < _HEADER.size:
+        raise WireError(
+            f"header length {header_len} smaller than the fixed header"
+        )
     if total_len > len(view) or header_len > total_len:
         raise WireError(
             f"message truncated: header claims {total_len} bytes, have {len(view)}"
@@ -172,18 +191,36 @@ def unpack(buf) -> tuple[str, dict[str, object]]:
     segments: dict[str, object] = {}
     pos = _HEADER.size
     for _ in range(nseg):
+        # Every entry read is bounds-checked against the *declared*
+        # header extent first, so a lying segment count or a torn table
+        # raises WireError instead of struct.error / IndexError.
+        if pos + _ENTRY_FIXED.size > header_len:
+            raise WireError("segment table overruns the declared header")
         flag, dtype_code, ndim, name_len, offset = _ENTRY_FIXED.unpack_from(view, pos)
         pos += _ENTRY_FIXED.size
+        if pos + ndim * 8 + name_len > header_len:
+            raise WireError("segment entry overruns the declared header")
         dims = struct.unpack_from(f"<{ndim}Q", view, pos) if ndim else ()
         pos += ndim * 8
-        name = bytes(view[pos : pos + name_len]).decode("utf-8")
+        try:
+            name = bytes(view[pos : pos + name_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"segment name is not valid UTF-8: {exc}") from exc
         pos += name_len
+        if flag not in (_FLAG_ARRAY, _FLAG_FLOAT, _FLAG_INT):
+            raise WireError(f"segment {name!r}: unknown flag {flag}")
         dtype = _CODE_DTYPES.get(dtype_code)
         if dtype is None:
             raise WireError(f"segment {name!r}: unknown dtype code {dtype_code}")
-        count = int(np.prod(dims, dtype=np.int64)) if ndim else 1
+        # Python-int product: u64 dims from a hostile message cannot
+        # silently overflow an int64 accumulator into a "valid" size.
+        count = 1
+        for dim in dims:
+            count *= int(dim)
+        if flag != _FLAG_ARRAY and count != 1:
+            raise WireError(f"scalar segment {name!r} must hold exactly one value")
         end = offset + count * dtype.itemsize
-        if end > total_len:
+        if offset < header_len or end > total_len:
             raise WireError(f"segment {name!r} overruns the message")
         arr = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
         if flag == _FLAG_FLOAT:
@@ -195,6 +232,70 @@ def unpack(buf) -> tuple[str, dict[str, object]]:
             arr.flags.writeable = False
             segments[name] = arr
     return _KIND_NAMES[kind_code], segments
+
+
+# -- stream framing -----------------------------------------------------------------
+
+# A framed message on a byte stream is [u64 LE length][message].  The
+# serving subsystem (repro.serve) uses this for every socket exchange.
+FRAME_PREFIX = struct.Struct("<Q")
+
+# A declared frame length beyond this is treated as stream corruption,
+# not as a request to buffer gigabytes: no payload in this codebase
+# comes anywhere near it, and a torn prefix read as a length must not
+# stall the reader forever waiting for impossible bytes.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def frame(message: bytes) -> bytes:
+    """Length-prefix one wire message for transmission on a byte stream."""
+    if not message:
+        raise WireError("cannot frame an empty message")
+    if len(message) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"message of {len(message)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "frame limit"
+        )
+    return FRAME_PREFIX.pack(len(message)) + message
+
+
+class FrameAssembler:
+    """Reassemble length-prefixed frames from fragmented stream reads.
+
+    Sockets deliver bytes, not messages: one ``recv`` may carry half a
+    length prefix, several concatenated frames, or a single byte.
+    :meth:`feed` buffers whatever arrives and returns every *complete*
+    frame payload, in order.  A declared length of zero or beyond
+    ``max_frame_bytes`` raises :class:`WireError` immediately — the
+    stream is corrupt and waiting for more bytes cannot fix it.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb one read's bytes; return the completed frame payloads."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while len(self._buffer) >= FRAME_PREFIX.size:
+            (length,) = FRAME_PREFIX.unpack_from(self._buffer, 0)
+            if length == 0 or length > self.max_frame_bytes:
+                raise WireError(
+                    f"frame declares {length} bytes "
+                    f"(limit {self.max_frame_bytes}); stream is corrupt"
+                )
+            end = FRAME_PREFIX.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[FRAME_PREFIX.size : end]))
+            del self._buffer[:end]
+        return frames
 
 
 # -- round-state broadcast ----------------------------------------------------------

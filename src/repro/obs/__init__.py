@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    Quantile,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 from repro.obs.exporters import (
@@ -48,6 +49,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantile",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",

@@ -44,6 +44,8 @@ def iter_events(tracer) -> list[dict]:
         events.append({"type": "gauge", "key": key, "value": value})
     for key, summary in snapshot["histograms"].items():
         events.append({"type": "histogram", "key": key, **summary})
+    for key, summary in snapshot.get("quantiles", {}).items():
+        events.append({"type": "quantile", "key": key, **summary})
     return events
 
 

@@ -102,6 +102,70 @@ class Histogram:
         }
 
 
+class Quantile:
+    """Percentile summary of an observed quantity via reservoir sampling.
+
+    :class:`Histogram` keeps moments only; latency reporting wants tail
+    percentiles.  A fixed-capacity reservoir gives p50/p95/p99 that are
+    exact below ``CAPACITY`` observations and uniformly sampled above.
+    Replacement decisions come from a private deterministic LCG — never
+    from :mod:`numpy` or :mod:`random` — so observing a latency can
+    never perturb a run's RNG streams or reproducibility.
+    """
+
+    __slots__ = ("key", "count", "total", "min", "max", "samples", "_lcg")
+
+    CAPACITY = 2048
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+        self._lcg = 0x9E3779B97F4A7C15
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.CAPACITY:
+            self.samples.append(value)
+            return
+        self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        j = self._lcg % self.count
+        if j < self.CAPACITY:
+            self.samples[j] = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": None, "min": None,
+                    "max": None, "p50": None, "p95": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
 class MetricsRegistry:
     """Creates and memoizes metrics by name + labels."""
 
@@ -110,6 +174,7 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.quantiles: dict[str, Quantile] = {}
 
     def _get(self, store: dict, cls, name: str, labels: dict):
         key = _key(name, labels)
@@ -128,12 +193,16 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(self.histograms, Histogram, name, labels)
 
+    def quantile(self, name: str, **labels) -> Quantile:
+        return self._get(self.quantiles, Quantile, name, labels)
+
     def snapshot(self) -> dict:
         """JSON-serializable dump of every metric's current state."""
         return {
             "counters": {k: c.value for k, c in sorted(self.counters.items())},
             "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
             "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
+            "quantiles": {k: q.summary() for k, q in sorted(self.quantiles.items())},
         }
 
     # -- checkpointing -----------------------------------------------------------
@@ -146,6 +215,10 @@ class MetricsRegistry:
             "histograms": {
                 k: [h.count, h.total, h.total_sq, h.min, h.max]
                 for k, h in sorted(self.histograms.items())
+            },
+            "quantiles": {
+                k: [q.count, q.total, q.min, q.max, q._lcg, list(q.samples)]
+                for k, q in sorted(self.quantiles.items())
             },
         }
 
@@ -169,6 +242,15 @@ class MetricsRegistry:
                     int(packed[0]), float(packed[1]), float(packed[2]),
                     float(packed[3]), float(packed[4]),
                 )
+            # .get: checkpoints written before quantiles existed restore fine.
+            for key, packed in state.get("quantiles", {}).items():
+                quant = self.quantiles.setdefault(key, Quantile(key))
+                quant.count = int(packed[0])
+                quant.total = float(packed[1])
+                quant.min = float(packed[2])
+                quant.max = float(packed[3])
+                quant._lcg = int(packed[4])
+                quant.samples = [float(v) for v in packed[5]]
 
 
 class _NullMetric:
@@ -205,8 +287,11 @@ class NullMetrics:
     def histogram(self, name: str, **labels) -> _NullMetric:
         return _NULL_METRIC
 
+    def quantile(self, name: str, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
     def snapshot(self) -> dict:
-        return {"counters": {}, "gauges": {}, "histograms": {}}
+        return {"counters": {}, "gauges": {}, "histograms": {}, "quantiles": {}}
 
 
 NULL_METRICS = NullMetrics()

@@ -1,0 +1,626 @@
+"""The serving server: a selector-loop client-execution engine.
+
+:class:`ServeExecutor` is a :class:`~repro.fl.parallel.ClientExecutor`,
+so the ordinary synchronous trainer loop *is* the federated server —
+selection, commit order, aggregation, checkpointing and crash-resume
+all come from the existing round decomposition; this engine only
+changes where the per-client work runs: in N forked worker processes
+reached over real TCP / Unix-domain sockets speaking length-prefixed
+RFW1 frames.
+
+One round, from the server's seat:
+
+1. Pack the algorithm's round state once and queue it to every live
+   connection (sequence-numbered, like the shared-memory pool's
+   broadcast).
+2. Drive a non-blocking :mod:`selectors` loop: accept late workers,
+   flush bounded per-connection write queues, reassemble frames from
+   partial reads, dispatch ``task`` frames (least-loaded connection
+   first, capped by ``serve_max_inflight``), and slot arriving updates
+   by client id.
+3. A dead connection's unfinished tasks are redispatched to surviving
+   workers (the determinism contract makes any duplicate identical);
+   when every worker is gone, or nothing makes progress for
+   ``serve_timeout`` seconds, the engine degrades to in-process serial
+   execution with a :class:`RuntimeWarning` — same fault story as the
+   process pool.
+4. After the round, socket-level model-payload bytes are reconciled
+   against what the :class:`~repro.fl.comm.CommLedger` charges (see
+   :meth:`ServeExecutor._reconcile`) so BENCH_comm numbers stay honest
+   on a real wire.
+
+Per-request latency lands in the ``serve.request_latency_sec`` quantile
+metric (p50/p95/p99 in ``summary.json``), traffic and connection
+counters under ``serve.*``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import selectors
+import socket
+import tempfile
+import time
+import warnings
+import weakref
+from collections import deque
+
+from repro.exceptions import ProtocolError
+from repro.fl.parallel import ClientExecutor, SerialExecutor
+from repro.fl.wire import FrameAssembler
+from repro.serve import protocol
+
+RECV_CHUNK = 1 << 16
+POLL_SEC = 0.05
+
+
+class ServeError(RuntimeError):
+    """A serving-loop failure (worker loss, stall) that triggers the
+    degrade-to-serial fallback rather than killing the run."""
+
+
+class _Conn:
+    """Per-connection server-side state."""
+
+    __slots__ = ("sock", "assembler", "outq", "out_bytes", "ready", "inflight", "seq")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.assembler = FrameAssembler()
+        self.outq: deque[memoryview] = deque()
+        self.out_bytes = 0
+        self.ready = False  # becomes True on the worker's hello
+        self.inflight: dict[int, int] = {}  # position -> client_id
+        self.seq = -1
+
+
+class _RoundStats:
+    """Socket-side accounting for one served round."""
+
+    __slots__ = (
+        "sent_bytes", "recv_bytes", "down_model_bytes", "up_model_bytes",
+        "redispatch_bytes", "redispatches", "disconnects", "duplicates",
+        "connects", "worker_retries", "latencies",
+    )
+
+    def __init__(self) -> None:
+        self.sent_bytes = 0
+        self.recv_bytes = 0
+        self.down_model_bytes = 0
+        self.up_model_bytes = 0
+        self.redispatch_bytes = 0
+        self.redispatches = 0
+        self.disconnects = 0
+        self.duplicates = 0
+        self.connects = 0
+        self.worker_retries = 0
+        self.latencies: list[float] = []
+
+
+class ServeExecutor(ClientExecutor):
+    """Run selected clients in socket-connected worker processes.
+
+    Args:
+        num_workers: worker processes to fork.
+        addr: ``serve_addr`` spec (``'tcp:HOST:PORT'`` / ``'uds:PATH'``)
+            or ``None`` for an ephemeral Unix-domain socket.
+        timeout: stall deadline (seconds), reset on any socket progress.
+        retries / backoff: worker-side connect/write retry policy.
+        max_inflight: dispatched-but-unfinished client cap
+            (``None`` = ``2 * num_workers``).
+        queue_bytes: per-connection outbound queue bound; a connection
+            at or over it receives no new task until it drains (one
+            frame may always be queued so progress never deadlocks).
+    """
+
+    name = "serve"
+
+    def __init__(
+        self,
+        num_workers: int,
+        addr: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_inflight: int | None = None,
+        queue_bytes: int = 8 << 20,
+    ) -> None:
+        self.num_workers = max(1, int(num_workers))
+        self.addr_spec = addr
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_inflight = (
+            2 * self.num_workers if max_inflight is None else int(max_inflight)
+        )
+        self.queue_bytes = int(queue_bytes)
+        self._fallback: SerialExecutor | None = None
+        self._listener: socket.socket | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._resolved: tuple[str, object] | None = None
+        self._uds_dir: str | None = None
+        self._conns: dict[int, _Conn] = {}
+        self._procs: list = []
+        self._bound = None  # weakref to the algorithm forked into workers
+        self._seq = 0
+        self._next_worker_id = 0
+
+    @classmethod
+    def from_config(cls, config) -> "ServeExecutor":
+        return cls(
+            num_workers=int(getattr(config, "num_workers", 1)),
+            addr=getattr(config, "serve_addr", None),
+            timeout=float(getattr(config, "serve_timeout", 30.0)),
+            retries=int(getattr(config, "serve_retries", 5)),
+            backoff=float(getattr(config, "serve_backoff", 0.05)),
+            max_inflight=getattr(config, "serve_max_inflight", None),
+            queue_bytes=int(getattr(config, "serve_queue_bytes", 8 << 20)),
+        )
+
+    # -- degradation ---------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once the engine has fallen back to in-process execution."""
+        return self._fallback is not None
+
+    def _degrade(self, reason: str) -> SerialExecutor:
+        self._shutdown_serving()
+        warnings.warn(
+            f"socket client serving disabled ({reason}); "
+            "continuing with in-process serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._fallback = SerialExecutor()
+        return self._fallback
+
+    # -- lifecycle -----------------------------------------------------------------
+    def _open_listener(self) -> None:
+        if self.addr_spec is None:
+            self._uds_dir = tempfile.mkdtemp(prefix="repro-serve-")
+            kind, addr = "uds", os.path.join(self._uds_dir, "serve.sock")
+        else:
+            kind, addr = protocol.parse_serve_addr(self.addr_spec)
+        if kind == "tcp":
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(addr)
+            self._resolved = ("tcp", sock.getsockname()[:2])
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if os.path.exists(addr):
+                os.unlink(addr)
+            sock.bind(addr)
+            self._resolved = ("uds", addr)
+        sock.listen(self.num_workers + 8)
+        sock.setblocking(False)
+        self._listener = sock
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(sock, selectors.EVENT_READ, None)
+
+    def _ensure_serving(self, algorithm) -> None:
+        """Bind the listener and fork workers (or re-fork on rebinds)."""
+        bound = self._bound() if self._bound is not None else None
+        if self._listener is not None and bound is not algorithm:
+            self._shutdown_serving()
+        if self._listener is None:
+            self._open_listener()
+            self._bound = weakref.ref(algorithm)
+        self._procs = [p for p in self._procs if p.is_alive()]
+        missing = self.num_workers - len(self._procs)
+        if missing <= 0:
+            return
+        from repro.serve.worker import worker_main
+
+        context = multiprocessing.get_context("fork")
+        # Children close every fd inherited from this process (the
+        # listener plus any already-accepted connections) so a worker's
+        # death always reads as EOF to the server and vice versa.
+        inherited = (self._listener, *[c.sock for c in self._conns.values()])
+        for _ in range(missing):
+            self._next_worker_id += 1
+            proc = context.Process(
+                target=worker_main,
+                args=(
+                    algorithm, self._resolved, self._next_worker_id,
+                    self.timeout, self.retries, self.backoff, inherited,
+                ),
+                daemon=True,
+                name=f"repro-serve-worker-{self._next_worker_id}",
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _shutdown_serving(self) -> None:
+        for conn in list(self._conns.values()):
+            try:
+                conn.sock.setblocking(True)
+                conn.sock.settimeout(1.0)
+                # Drain any half-sent frame first; a shutdown frame
+                # spliced mid-frame would tear the worker's stream.
+                while conn.outq:
+                    conn.sock.sendall(conn.outq.popleft())
+                conn.sock.sendall(protocol.build_shutdown())
+            except OSError:
+                pass
+            self._close_conn(conn)
+        if self._listener is not None:
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(self._listener)
+                except (KeyError, ValueError):
+                    pass
+            self._listener.close()
+            self._listener = None
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        if self._uds_dir is not None:
+            try:
+                sock_path = os.path.join(self._uds_dir, "serve.sock")
+                if os.path.exists(sock_path):
+                    os.unlink(sock_path)
+                os.rmdir(self._uds_dir)
+            except OSError:
+                pass
+            self._uds_dir = None
+        self._resolved = None
+        self._bound = None
+
+    def close(self) -> None:
+        self._shutdown_serving()
+
+    # -- connection plumbing ---------------------------------------------------------
+    def _close_conn(self, conn: _Conn) -> None:
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.pop(conn.sock.fileno(), None)
+        # fileno() is -1 after close; sweep by identity as the fallback.
+        for fd, existing in list(self._conns.items()):
+            if existing is conn:
+                del self._conns[fd]
+
+    def _accept(self, stats: _RoundStats, state_frame: bytes | None, seq: int) -> None:
+        assert self._listener is not None and self._selector is not None
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            if sock.family == socket.AF_INET:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Conn(sock)
+            self._conns[sock.fileno()] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            stats.connects += 1
+            if state_frame is not None:
+                self._queue(conn, state_frame, stats)
+                conn.seq = seq
+
+    def _queue(self, conn: _Conn, payload: bytes, stats: _RoundStats) -> None:
+        conn.outq.append(memoryview(payload))
+        conn.out_bytes += len(payload)
+        self._flush(conn, stats)
+        self._update_events(conn)
+
+    def _flush(self, conn: _Conn, stats: _RoundStats) -> bool:
+        """Write queued bytes; returns True when the connection broke."""
+        try:
+            while conn.outq:
+                head = conn.outq[0]
+                sent = conn.sock.send(head)
+                stats.sent_bytes += sent
+                conn.out_bytes -= sent
+                if sent < head.nbytes:
+                    conn.outq[0] = head[sent:]
+                    break
+                conn.outq.popleft()
+        except BlockingIOError:
+            pass
+        except OSError:
+            return True
+        return False
+
+    def _update_events(self, conn: _Conn) -> None:
+        if self._selector is None:
+            return
+        events = selectors.EVENT_READ
+        if conn.outq:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _read(self, conn: _Conn, stats: _RoundStats) -> tuple[bool, list[bytes]]:
+        """Drain readable bytes; returns ``(closed, complete_frames)``."""
+        closed = False
+        frames: list[bytes] = []
+        try:
+            while True:
+                data = conn.sock.recv(RECV_CHUNK)
+                if not data:
+                    closed = True
+                    break
+                stats.recv_bytes += len(data)
+                frames.extend(conn.assembler.feed(data))
+                if len(data) < RECV_CHUNK:
+                    break
+        except BlockingIOError:
+            pass
+        except OSError:
+            closed = True
+        return closed, frames
+
+    def _has_capacity(self, conn: _Conn) -> bool:
+        return not conn.outq or conn.out_bytes < self.queue_bytes
+
+    def _pick_conn(self) -> _Conn | None:
+        """Least-loaded ready connection with outbound queue capacity."""
+        best: _Conn | None = None
+        for conn in self._conns.values():
+            if not conn.ready or not self._has_capacity(conn):
+                continue
+            if best is None or len(conn.inflight) < len(best.inflight):
+                best = conn
+        return best
+
+    # -- the round -------------------------------------------------------------------
+    def _serve_round(self, algorithm, round_idx: int, ids: list[int]):
+        self._ensure_serving(algorithm)
+        assert self._selector is not None
+        stats = _RoundStats()
+        self._seq += 1
+        seq = self._seq
+        # WireError here (inexpressible round state) propagates to
+        # run(), which degrades — there is no pickled state transport
+        # over sockets.
+        state_frame = protocol.build_state(algorithm._worker_state(), seq)
+        for conn in list(self._conns.values()):
+            if self._flush(conn, stats):  # broke while draining old bytes
+                self._drop_conn(conn, None, stats)
+                continue
+            self._queue(conn, state_frame, stats)
+            conn.seq = seq
+
+        results: list = [None] * len(ids)
+        pending: deque[tuple[int, int]] = deque(enumerate(ids))
+        unfilled: dict[int, deque[int]] = {}
+        for pos, cid in enumerate(ids):
+            unfilled.setdefault(cid, deque()).append(pos)
+        dispatch_time: dict[int, float] = {}
+        ever_dispatched: set[int] = set()
+        done = 0
+        deadline = time.monotonic() + self.timeout
+
+        model = algorithm.global_params
+        assert model is not None
+        model_nbytes = int(model.nbytes)
+
+        while done < len(ids):
+            # Dispatch as much as backpressure allows.
+            inflight_total = sum(len(c.inflight) for c in self._conns.values())
+            while pending and inflight_total < self.max_inflight:
+                conn = self._pick_conn()
+                if conn is None:
+                    break
+                pos, cid = pending.popleft()
+                task = protocol.build_task(round_idx, pos, cid, seq, model)
+                if pos in ever_dispatched:
+                    stats.redispatch_bytes += model_nbytes
+                    stats.redispatches += 1
+                else:
+                    ever_dispatched.add(pos)
+                    stats.down_model_bytes += model_nbytes
+                self._queue(conn, task, stats)
+                conn.inflight[pos] = cid
+                dispatch_time[pos] = time.monotonic()
+                inflight_total += 1
+                deadline = time.monotonic() + self.timeout
+
+            if not self._conns and not any(p.is_alive() for p in self._procs):
+                raise ServeError("every serve worker process exited")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"no progress for {self.timeout:.1f}s with "
+                    f"{len(ids) - done} clients outstanding"
+                )
+            for key, mask in self._selector.select(min(POLL_SEC, remaining)):
+                if key.data is None:
+                    self._accept(stats, state_frame, seq)
+                    deadline = time.monotonic() + self.timeout
+                    continue
+                conn = key.data
+                if mask & selectors.EVENT_WRITE:
+                    if self._flush(conn, stats):
+                        self._drop_conn(conn, pending, stats)
+                        continue
+                    self._update_events(conn)
+                if not (mask & selectors.EVENT_READ):
+                    continue
+                closed, frames = self._read(conn, stats)
+                for message in frames:
+                    deadline = time.monotonic() + self.timeout
+                    msg_kind, payload = protocol.parse_message(message)
+                    if msg_kind == "hello":
+                        conn.ready = True
+                        stats.worker_retries += max(
+                            0, int(payload.get("serve.attempts", 1)) - 1
+                        )
+                    elif msg_kind == "update":
+                        update = payload
+                        queue = unfilled.get(int(update.client_id))
+                        if not queue:
+                            stats.duplicates += 1
+                            continue
+                        pos = queue.popleft()
+                        results[pos] = update
+                        for owner in self._conns.values():
+                            owner.inflight.pop(pos, None)
+                        done += 1
+                        stats.up_model_bytes += protocol.update_model_bytes(update)
+                        started = dispatch_time.get(pos)
+                        if started is not None:
+                            stats.latencies.append(time.monotonic() - started)
+                    else:
+                        raise ServeError(
+                            f"unexpected {msg_kind!r} message from a worker"
+                        )
+                if closed:
+                    self._drop_conn(conn, pending, stats)
+        return results, stats
+
+    def _drop_conn(
+        self, conn: _Conn, pending: deque | None, stats: _RoundStats
+    ) -> None:
+        """Close a broken connection, requeueing its unfinished tasks."""
+        stats.disconnects += 1
+        if pending is not None:
+            for pos, cid in sorted(conn.inflight.items(), reverse=True):
+                pending.appendleft((pos, cid))
+        conn.inflight.clear()
+        self._close_conn(conn)
+
+    # -- execution -------------------------------------------------------------------
+    def run(self, algorithm, round_idx: int, client_ids: list[int]):
+        if self._fallback is not None:
+            return self._fallback.run(algorithm, round_idx, client_ids)
+        if not len(client_ids):
+            return []
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return self._degrade("the 'fork' start method is unavailable").run(
+                algorithm, round_idx, client_ids
+            )
+        if not (
+            getattr(algorithm, "wire_transport_safe", False)
+            and hasattr(algorithm, "_worker_state")
+        ):
+            return self._degrade(
+                f"algorithm {algorithm.name!r} cannot enumerate worker state "
+                "for the socket transport"
+            ).run(algorithm, round_idx, client_ids)
+        started = time.perf_counter()
+        try:
+            updates, stats = self._serve_round(
+                algorithm, round_idx, [int(c) for c in client_ids]
+            )
+        except Exception as exc:  # worker loss, stall, socket or wire failure
+            return self._degrade(f"socket serving failed: {exc!r}").run(
+                algorithm, round_idx, client_ids
+            )
+        elapsed = time.perf_counter() - started
+        self._record_metrics(algorithm, updates, stats, elapsed)
+        # Reconciliation runs OUTSIDE the degrade path: a byte-accounting
+        # mismatch is a correctness signal that must surface, not a
+        # transient fault to paper over with a serial rerun.
+        self._reconcile(algorithm, updates, stats, len(client_ids))
+        return updates
+
+    # -- observability & reconciliation ------------------------------------------------
+    def _record_metrics(self, algorithm, updates, stats: _RoundStats, elapsed: float) -> None:
+        tracer = algorithm.tracer
+        if not tracer.enabled:
+            return
+        for update in updates:
+            with tracer.span(
+                "local_train", client=update.client_id, worker=update.worker
+            ) as span:
+                pass
+            span.duration = update.train_seconds
+        metrics = tracer.metrics
+        metrics.gauge("serve.workers").set(sum(1 for p in self._procs if p.is_alive()))
+        metrics.gauge("serve.connections").set(len(self._conns))
+        metrics.counter("serve.rounds").inc()
+        metrics.counter("serve.bytes_sent").inc(stats.sent_bytes)
+        metrics.counter("serve.bytes_received").inc(stats.recv_bytes)
+        if stats.connects:
+            metrics.counter("serve.connects").inc(stats.connects)
+        if stats.disconnects:
+            metrics.counter("serve.disconnects").inc(stats.disconnects)
+        if stats.redispatches:
+            metrics.counter("serve.redispatches").inc(stats.redispatches)
+        if stats.duplicates:
+            metrics.counter("serve.duplicate_updates").inc(stats.duplicates)
+        if stats.worker_retries:
+            metrics.counter("serve.connect_retries").inc(stats.worker_retries)
+        request_latency = metrics.quantile("serve.request_latency_sec")
+        for latency in stats.latencies:
+            request_latency.observe(latency)
+        metrics.quantile("serve.round_latency_sec").observe(elapsed)
+        if elapsed > 0 and updates:
+            busy = sum(u.train_seconds for u in updates)
+            metrics.gauge("serve.speedup").set(busy / elapsed)
+
+    def _reconcile(self, algorithm, updates, stats: _RoundStats, num_clients: int) -> None:
+        """Check socket-level model bytes against the ledger's charges.
+
+        The ``model`` ledger kind is exactly the base formula for every
+        algorithm, both directions: ``down = model_size * cohort *
+        dtype_bytes`` and ``up = sum(wire_size.nbytes(dtype_bytes))``.
+        The socket side measured the dense ``model`` segment of each
+        first-dispatch task and each update's model payload (params or
+        compressed streams), so the two agree *exactly* whenever the
+        arrays on the wire are priced at their true width — no
+        compressor and no ``wire_dtype_bytes`` override — and the check
+        is a hard :class:`ProtocolError` there.  Coder stages ship
+        decoded float64 carriers while the ledger charges bit-packed
+        words, and a ``wire_dtype_bytes`` override deliberately prices a
+        different width, so those runs record the drift in counters
+        instead (``serve.reconcile_mismatches``).  Redispatched tasks
+        are not ledger-charged and are counted separately
+        (``serve.redispatch_bytes``).
+        """
+        ledger = algorithm.ledger
+        if ledger is None:
+            return
+        dtype_bytes = int(ledger.dtype_bytes)
+        expected_down = int(algorithm.model_size) * num_clients * dtype_bytes
+        if updates and all(u.wire_size is not None for u in updates):
+            expected_up = int(
+                sum(u.wire_size.nbytes(dtype_bytes) for u in updates)
+            )
+        else:
+            expected_up = sum(int(u.wire) for u in updates) * dtype_bytes
+        metrics = algorithm.tracer.metrics
+        metrics.counter("serve.bytes_ledger_down").inc(expected_down)
+        metrics.counter("serve.bytes_ledger_up").inc(expected_up)
+        metrics.counter("serve.bytes_wire_down").inc(stats.down_model_bytes)
+        metrics.counter("serve.bytes_wire_up").inc(stats.up_model_bytes)
+        if stats.redispatch_bytes:
+            metrics.counter("serve.redispatch_bytes").inc(stats.redispatch_bytes)
+        matched = (
+            expected_down == stats.down_model_bytes
+            and expected_up == stats.up_model_bytes
+        )
+        if matched:
+            return
+        strict = (
+            algorithm.compressor is None
+            and algorithm.global_params is not None
+            and dtype_bytes == int(algorithm.global_params.dtype.itemsize)
+        )
+        if strict:
+            raise ProtocolError(
+                "serve-mode byte accounting drifted from the ledger: "
+                f"down wire={stats.down_model_bytes} vs ledger={expected_down}, "
+                f"up wire={stats.up_model_bytes} vs ledger={expected_up} "
+                f"({num_clients} clients, model_size={algorithm.model_size}, "
+                f"dtype_bytes={dtype_bytes})"
+            )
+        metrics.counter("serve.reconcile_mismatches").inc()

@@ -85,6 +85,9 @@ def test_null_metrics_accepts_everything_keeps_nothing():
     NULL_METRICS.counter("x", any_label=1).inc(5)
     NULL_METRICS.gauge("y").set(1.0)
     NULL_METRICS.histogram("z").observe(2.0)
-    assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    NULL_METRICS.quantile("q").observe(3.0)
+    assert NULL_METRICS.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}, "quantiles": {},
+    }
     # Shared instance: accessors allocate nothing per call.
     assert NULL_METRICS.counter("x") is NULL_METRICS.gauge("y")

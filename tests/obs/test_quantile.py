@@ -1,0 +1,137 @@
+"""Quantile (reservoir percentile) metric tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics, Quantile
+
+
+def test_exact_percentiles_below_capacity():
+    q = Quantile("latency")
+    for v in range(1, 101):  # 1..100
+        q.observe(float(v))
+    assert q.percentile(50.0) == 50.0
+    assert q.percentile(95.0) == 95.0
+    assert q.percentile(99.0) == 99.0
+    assert q.percentile(0.0) == 1.0
+    assert q.percentile(100.0) == 100.0
+
+
+def test_summary_fields():
+    q = Quantile("latency")
+    for v in (2.0, 4.0, 6.0):
+        q.observe(v)
+    summary = q.summary()
+    assert summary["count"] == 3
+    assert summary["sum"] == 12.0
+    assert summary["mean"] == 4.0
+    assert summary["min"] == 2.0 and summary["max"] == 6.0
+    assert summary["p50"] == 4.0
+
+
+def test_empty_summary_is_well_formed():
+    summary = Quantile("latency").summary()
+    assert summary["count"] == 0
+    assert summary["p50"] is None and summary["p99"] is None
+    assert math.isnan(Quantile("latency").percentile(50.0))
+
+
+def test_reservoir_is_bounded_and_min_max_exact():
+    q = Quantile("latency")
+    n = Quantile.CAPACITY * 3
+    for v in range(n):
+        q.observe(float(v))
+    assert len(q.samples) == Quantile.CAPACITY
+    assert q.count == n
+    assert q.min == 0.0 and q.max == float(n - 1)
+    # The sampled p50 must sit near the true median for a uniform ramp.
+    assert abs(q.percentile(50.0) - (n - 1) / 2) < n * 0.1
+
+
+def test_replacement_is_deterministic():
+    """Two identical observation streams leave identical reservoirs —
+    the LCG is private state, not a shared RNG."""
+    a, b = Quantile("x"), Quantile("x")
+    for v in range(Quantile.CAPACITY * 2):
+        a.observe(float(v % 977))
+        b.observe(float(v % 977))
+    assert a.samples == b.samples
+    assert a._lcg == b._lcg
+
+
+def test_observe_never_touches_global_rngs():
+    import random
+
+    import numpy as np
+
+    random.seed(7)
+    np.random.seed(7)
+    expected_py = random.Random(7).random()
+    q = Quantile("x")
+    for v in range(Quantile.CAPACITY + 100):
+        q.observe(float(v))
+    assert random.random() == expected_py
+    assert np.random.get_state()[1][0] == np.random.RandomState(7).get_state()[1][0]
+
+
+# -- registry integration ---------------------------------------------------------
+
+
+def test_registry_memoizes_and_snapshots():
+    registry = MetricsRegistry()
+    registry.quantile("serve.latency").observe(1.0)
+    registry.quantile("serve.latency").observe(3.0)
+    assert registry.quantile("serve.latency").count == 2
+    snapshot = registry.snapshot()
+    assert snapshot["quantiles"]["serve.latency"]["count"] == 2
+    assert snapshot["quantiles"]["serve.latency"]["p50"] == 1.0
+
+
+def test_state_dict_restore_continues_the_stream_exactly():
+    a = MetricsRegistry()
+    q = a.quantile("lat")
+    for v in range(Quantile.CAPACITY + 50):
+        q.observe(float(v))
+    b = MetricsRegistry()
+    b.restore_state(a.state_dict())
+    # Continue both streams identically: reservoirs must stay identical,
+    # which requires count, samples AND the LCG state to have survived.
+    for v in range(200):
+        a.quantile("lat").observe(float(v) * 0.5)
+        b.quantile("lat").observe(float(v) * 0.5)
+    assert a.quantile("lat").samples == b.quantile("lat").samples
+    assert a.snapshot() == b.snapshot()
+
+
+def test_restore_of_pre_quantile_checkpoint():
+    """Checkpoints written before quantiles existed restore cleanly."""
+    registry = MetricsRegistry()
+    registry.restore_state({"counters": {"x": 2}, "gauges": {}, "histograms": {}})
+    assert registry.counter("x").value == 2
+    assert registry.snapshot()["quantiles"] == {}
+
+
+def test_null_metrics_quantile_is_a_sink():
+    null = NullMetrics()
+    null.quantile("anything").observe(1.0)
+    assert null.snapshot()["quantiles"] == {}
+
+
+def test_exporter_emits_quantile_events():
+    from repro.obs.exporters import iter_events
+
+    registry = MetricsRegistry()
+    registry.quantile("serve.latency").observe(2.0)
+
+    class _Stub:
+        metrics = registry
+
+        def walk(self):
+            return ()
+
+    events = [e for e in iter_events(_Stub()) if e.get("type") == "quantile"]
+    assert events and events[0]["key"] == "serve.latency"
+    assert events[0]["p50"] == 2.0

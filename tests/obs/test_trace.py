@@ -161,7 +161,7 @@ def test_null_tracer_is_inert_and_shared():
     assert NULL_TRACER.span_summary() == {}
     NULL_TRACER.on_round(object())  # accepts anything, records nothing
     assert NULL_TRACER.metrics.snapshot() == {
-        "counters": {}, "gauges": {}, "histograms": {}
+        "counters": {}, "gauges": {}, "histograms": {}, "quantiles": {},
     }
 
 
